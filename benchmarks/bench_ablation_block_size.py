@@ -1,0 +1,63 @@
+"""Ablation — GPUCalcShared block size (Section VII-C).
+
+The paper uses a block size of 256 and notes the shared kernel's block
+size "should ideally be chosen to reflect the average data density":
+blocks much larger than the typical cell population waste threads, tiny
+blocks multiply tiling iterations.  This bench sweeps the block size on
+both data regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_table, save_json
+from repro.gpusim import Device, launch
+from repro.index import GridIndex
+from repro.kernels import GPUCalcShared
+
+from _bench_utils import BENCH_SCALE, bench_points, report
+
+BLOCK_SIZES = [32, 64, 128, 256, 512]
+
+
+def _shared_ms(name: str, eps: float, block_dim: int) -> tuple[float, int]:
+    pts = bench_points(name)
+    device = Device()
+    grid = GridIndex.build(pts, eps)
+    buf = device.allocate_result_buffer((600 * len(grid), 2), np.int64)
+    res = launch(
+        GPUCalcShared(),
+        GPUCalcShared.launch_config(grid, block_dim=block_dim),
+        device,
+        grid=grid,
+        result=buf,
+    )
+    return res.modeled_ms, res.n_gpu
+
+
+def test_ablation_block_size(benchmark):
+    rows = []
+    payload = []
+    for name, eps in [("SW1", 0.5), ("SDSS1", 0.5)]:
+        for bs in BLOCK_SIZES:
+            ms, ngpu = _shared_ms(name, eps, bs)
+            rows.append([name, bs, round(ms, 3), ngpu])
+            payload.append(
+                {"dataset": name, "block": bs, "modeled_ms": ms, "ngpu": ngpu}
+            )
+
+    # nGPU scales linearly with block size (one block per cell)
+    sw = [r for r in rows if r[0] == "SW1"]
+    assert sw[-1][3] == sw[0][3] * (BLOCK_SIZES[-1] // BLOCK_SIZES[0])
+
+    benchmark.pedantic(lambda: _shared_ms("SW1", 0.5, 256), rounds=1, iterations=1)
+
+    report(
+        format_table(
+            ["Dataset", "block size", "modeled ms", "nGPU"],
+            rows,
+            title="Ablation: GPUCalcShared block size (paper used 256)",
+        )
+    )
+    save_json("ablation_block_size", {"scale": BENCH_SCALE, "rows": payload})

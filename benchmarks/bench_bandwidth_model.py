@@ -1,0 +1,75 @@
+"""Future-work bench — host-GPU bandwidth sensitivity (Section VIII).
+
+The paper predicts that "future bandwidth increases will improve the
+relative performance of HYBRID-DBSCAN (e.g., with NVLink)" and proposes
+modeling it.  This bench profiles one run per dataset, fits the
+:mod:`repro.model.bandwidth` model, and sweeps the link bandwidth from
+PCIe-2 (the K20c era) to NVLink-class, reporting the predicted speedup
+and the saturation bandwidth where compute becomes the bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, save_json
+from repro.data.scale import DATASETS
+from repro.model import profile_run
+
+from _bench_utils import BENCH_SCALE, bench_points, report
+
+BANDWIDTHS = [3.0, 6.0, 12.0, 25.0, 50.0, 150.0]  # GB/s: PCIe2 .. NVLink3
+PANELS = ["SW1", "SDSS1"]
+
+
+def test_bandwidth_model(benchmark):
+    rows = []
+    payload = []
+    for name in PANELS:
+        spec = DATASETS[name]
+        pts = bench_points(name)
+        model = profile_run(pts, spec.eps_ref, 4)
+        sweep = model.sweep(BANDWIDTHS)
+        sat = model.saturation_bandwidth_gbs()
+        for b, t_ms, sp, dsp in sweep:
+            rows.append([name, b, round(t_ms, 3), round(sp, 3), round(dsp, 3)])
+        rows.append([name, f"saturation≈{sat:.0f}", "", "", ""])
+        payload.append(
+            {
+                "dataset": name,
+                "eps": spec.eps_ref,
+                "sweep": [
+                    {
+                        "bandwidth_gbs": b,
+                        "predicted_ms": t,
+                        "speedup": s,
+                        "device_speedup": d,
+                    }
+                    for b, t, s, d in sweep
+                ],
+                "saturation_gbs": sat,
+                "overlap_efficiency": model.profile.overlap_efficiency,
+            }
+        )
+        # the paper's prediction: more bandwidth always helps the
+        # transfer-bound device phase, with diminishing returns once
+        # compute dominates
+        device_speedups = [d for _, _, _, d in sweep]
+        assert device_speedups == sorted(device_speedups)
+        assert device_speedups[-1] > 1.2
+
+    pts = bench_points("SW1")
+    benchmark.pedantic(
+        lambda: profile_run(pts, DATASETS["SW1"].eps_ref, 4),
+        rounds=1,
+        iterations=1,
+    )
+
+    report(
+        format_table(
+            ["Dataset", "link GB/s", "predicted ms", "end-to-end speedup",
+             "device-phase speedup"],
+            rows,
+            title="Future work: response time vs host-GPU bandwidth "
+            "(paper: NVLink will improve HYBRID-DBSCAN)",
+        )
+    )
+    save_json("bandwidth_model", {"scale": BENCH_SCALE, "rows": payload})

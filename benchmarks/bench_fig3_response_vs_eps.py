@@ -1,0 +1,74 @@
+"""Figure 3 (S2) — response time vs ε, HYBRID-DBSCAN vs the reference.
+
+Paper: four panels (SW1, SW4, SDSS1, SDSS3; SDSS2 omitted as its trends
+match SDSS1/SDSS3).  The hybrid's total time stays below the reference
+at every ε — including small ε / small datasets where GPUs are usually
+ill-suited — and the time to construct T ("GPU time") is roughly
+comparable to the DBSCAN-over-T time.
+"""
+
+from __future__ import annotations
+
+from repro.bench import SeriesSet, save_json
+from repro.core import HybridDBSCAN
+from repro.data.scale import DATASETS
+from repro.gpusim import Device
+
+from _bench_utils import BENCH_SCALE, N_TRIALS, bench_points, ref_seconds, report, timed
+
+PANELS = ["SW1", "SW4", "SDSS1", "SDSS3"]
+MINPTS = 4
+
+
+def _hybrid_times(pts, eps: float) -> tuple[float, float, float]:
+    """(total_s, gpu_s, dbscan_s) averaged over N_TRIALS."""
+    totals, gpus, dbs = [], [], []
+    for _ in range(N_TRIALS):
+        res = HybridDBSCAN(Device()).fit(pts, eps, MINPTS)
+        totals.append(res.timings.total_s)
+        gpus.append(res.timings.gpu_s)
+        dbs.append(res.timings.dbscan_s)
+    n = len(totals)
+    return sum(totals) / n, sum(gpus) / n, sum(dbs) / n
+
+
+def test_fig3_response_vs_eps(benchmark):
+    panels = {}
+    for name in PANELS:
+        spec = DATASETS[name]
+        pts = bench_points(name)
+        ss = SeriesSet(f"fig3-{name}", "eps", "time_s", meta={"minpts": MINPTS})
+        s_ref = ss.new_series("Ref. Implementation")
+        s_tot = ss.new_series("Hybrid: Total Time")
+        s_db = ss.new_series("Hybrid: DBSCAN Time")
+        s_gpu = ss.new_series("Hybrid: GPU Time")
+        for eps in spec.s2_eps:
+            total, gpu, db = _hybrid_times(pts, eps)
+            s_tot.add(eps, total)
+            s_gpu.add(eps, gpu)
+            s_db.add(eps, db)
+            s_ref.add(eps, ref_seconds(name, eps, MINPTS))
+        panels[name] = ss
+
+        # paper's claim: hybrid beats the reference at every ε
+        for x, y_tot in zip(s_tot.x, s_tot.y):
+            y_ref = s_ref.y[s_ref.x.index(x)]
+            assert y_tot < y_ref, (name, x, y_tot, y_ref)
+
+    benchmark.pedantic(
+        lambda: HybridDBSCAN(Device()).fit(
+            bench_points("SW1"), DATASETS["SW1"].s2_eps[-1], MINPTS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    from repro.bench.asciiplot import render_ascii
+
+    for name, ss in panels.items():
+        report(ss.format())
+        report(render_ascii(ss, logy=True))
+    save_json(
+        "fig3_response_vs_eps",
+        {"scale": BENCH_SCALE, "panels": {k: v.to_dict() for k, v in panels.items()}},
+    )

@@ -1,0 +1,90 @@
+"""Figure 4 + Table IV (S2) — pipelined multi-variant clustering.
+
+Paper: across each dataset's whole S2 variant grid, pipelined
+HYBRID-DBSCAN beats the non-pipelined hybrid by 1.42×–1.66× and the
+sequential reference by 3.36×–5.13×, with the gain growing with dataset
+size (SDSS3 largest).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, save_json
+from repro.core import HybridDBSCAN, MultiClusterPipeline, VariantSet
+from repro.data.scale import DATASETS
+from repro.gpusim import Device
+
+from _bench_utils import BENCH_SCALE, bench_points, ref_seconds, report
+
+PANELS = ["SW1", "SW4", "SDSS1", "SDSS2", "SDSS3"]
+MINPTS = 4
+
+
+def test_fig4_table4_pipeline(benchmark):
+    rows4 = []
+    fig_rows = []
+    payload = []
+    speedups_ref = {}
+    for name in PANELS:
+        spec = DATASETS[name]
+        pts = bench_points(name)
+        variants = VariantSet.eps_sweep(list(spec.s2_eps), MINPTS)
+        pipe = MultiClusterPipeline(HybridDBSCAN(Device()))
+        seq = pipe.run(pts, variants, pipelined=False)
+        par = pipe.run(pts, variants, pipelined=True)
+        ref_total = sum(ref_seconds(name, e, MINPTS) for e in spec.s2_eps)
+
+        sp_ref = ref_total / par.total_s
+        sp_nonpipe = seq.total_s / par.total_s
+        speedups_ref[name] = sp_ref
+        fig_rows.append(
+            [name, round(ref_total, 2), round(seq.total_s, 2), round(par.total_s, 2)]
+        )
+        rows4.append([name, round(sp_ref, 2), round(sp_nonpipe, 2)])
+        payload.append(
+            {
+                "dataset": name,
+                "ref_total_s": ref_total,
+                "nonpipelined_s": seq.total_s,
+                "pipelined_s": par.total_s,
+                "speedup_vs_ref": sp_ref,
+                "speedup_vs_nonpipelined": sp_nonpipe,
+            }
+        )
+        # paper's claims: pipelining helps, and both hybrids beat ref
+        assert par.total_s < seq.total_s, name
+        assert sp_ref > 1.0, name
+        assert 1.0 < sp_nonpipe < 3.0, (name, sp_nonpipe)
+
+    # every dataset's pipelined hybrid dominates the reference; the
+    # size trend (paper: SDSS3 leads at 5.13x) is visible in the printed
+    # table but is too sensitive to single-trial wall-clock jitter on a
+    # loaded 1-core host to gate on strictly
+    assert min(speedups_ref.values()) > 1.0
+    assert speedups_ref["SDSS3"] >= 0.5 * max(speedups_ref.values())
+
+    pts = bench_points("SW1")
+    variants = VariantSet.eps_sweep(list(DATASETS["SW1"].s2_eps[:3]), MINPTS)
+    benchmark.pedantic(
+        lambda: MultiClusterPipeline(HybridDBSCAN(Device())).run(
+            pts, variants, pipelined=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    report(
+        format_table(
+            ["Dataset", "Ref total s", "Hybrid non-pipelined s", "Hybrid pipelined s"],
+            fig_rows,
+            title="Figure 4: total response time over each dataset's S2 grid",
+        )
+    )
+    report(
+        format_table(
+            ["Dataset", "Pipelined vs Ref", "Pipelined vs Non-Pipelined"],
+            rows4,
+            title="Table IV: speedups on S2 "
+            "(paper: 3.36-5.13 vs ref, 1.42-1.66 vs non-pipelined)",
+        )
+    )
+    save_json("fig4_table4_pipeline", {"scale": BENCH_SCALE, "rows": payload})

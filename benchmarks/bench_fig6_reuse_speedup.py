@@ -1,0 +1,76 @@
+"""Figure 6 (S3) — speedup of 16-thread table reuse over the reference.
+
+Paper: reusing one T (fixed ε) to cluster 16 minpts values with 16
+threads is 27×–54× faster than clustering each variant individually
+with the sequential reference implementation.
+
+The reference side needs 16 full sequential runs per (dataset, ε); to
+keep the bench tractable its total is estimated from two probe runs
+(the smallest and largest minpts of the grid) × 16 — minpts barely
+affects the reference's cost, which is dominated by the ε-range
+queries.  The probes are cached across benches.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, save_json
+from repro.core import cluster_with_reuse
+from repro.data.scale import DATASETS
+
+from _bench_utils import BENCH_SCALE, bench_points, ref_seconds, report
+
+PANELS = ["SW1", "SW4", "SDSS1", "SDSS2", "SDSS3"]
+N_THREADS = 16
+
+
+def test_fig6_reuse_speedup(benchmark):
+    rows = []
+    payload = []
+    speedups = []
+    for name in PANELS:
+        spec = DATASETS[name]
+        pts = bench_points(name)
+        for eps in spec.s3_eps:
+            grid = list(spec.s3_minpts)
+            reuse = cluster_with_reuse(pts, eps, grid, n_threads=N_THREADS)
+            probe = (
+                ref_seconds(name, eps, grid[0])
+                + ref_seconds(name, eps, grid[-1])
+            ) / 2
+            ref_total = probe * len(grid)
+            speedup = ref_total / reuse.total_s
+            speedups.append(speedup)
+            rows.append([name, eps, round(speedup, 1)])
+            payload.append(
+                {
+                    "dataset": name,
+                    "eps": eps,
+                    "reuse_total_s": reuse.total_s,
+                    "ref_total_estimated_s": ref_total,
+                    "ref_probe_s": probe,
+                    "speedup": speedup,
+                }
+            )
+            # paper: reuse wins by a large factor everywhere
+            assert speedup > 4.0, (name, eps, speedup)
+
+    benchmark.pedantic(
+        lambda: cluster_with_reuse(
+            bench_points("SW1"),
+            DATASETS["SW1"].s3_eps[0],
+            list(DATASETS["SW1"].s3_minpts),
+            n_threads=N_THREADS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    report(
+        format_table(
+            ["Dataset", "eps", "Relative Speedup"],
+            rows,
+            title="Figure 6: 16-thread reuse of one T vs per-variant "
+            "reference (paper: 27x-54x)",
+        )
+    )
+    save_json("fig6_reuse_speedup", {"scale": BENCH_SCALE, "rows": payload})

@@ -1,0 +1,60 @@
+"""Table I — fraction of sequential DBSCAN time spent in R-tree search.
+
+Paper: 48.0%–72.2% across the dataset/ε probes (minpts = 4), motivating
+the offload of index searches to the GPU.  This bench runs the same
+instrumented sequential implementation over the same (dataset, ε) grid
+and prints the measured fractions.
+"""
+
+from __future__ import annotations
+
+from repro.baseline import sequential_dbscan
+from repro.bench import format_table, save_json
+from repro.data.scale import DATASETS
+
+from _bench_utils import BENCH_SCALE, bench_points, bench_rtree, report
+
+# the paper's Table I rows: (dataset, eps)
+TABLE1_ROWS = [
+    (name, eps) for name in DATASETS for eps in DATASETS[name].t1_eps
+]
+
+
+def test_table1_rtree_fraction(benchmark):
+    rows = []
+    payload = []
+    for name, eps in TABLE1_ROWS:
+        pts = bench_points(name)
+        idx = bench_rtree(name)
+        _, stats = sequential_dbscan(pts, eps, 4, index=idx)
+        rows.append([name, eps, round(stats.frac_index_time, 3)])
+        payload.append(
+            {
+                "dataset": name,
+                "eps": eps,
+                "frac_index_time": stats.frac_index_time,
+                "total_s": stats.total_s,
+                "n_queries": stats.n_queries,
+                "n_points": len(pts),
+            }
+        )
+        # the paper's claim: index search dominates (≈ half or more)
+        assert stats.frac_index_time > 0.30, (name, eps)
+
+    # headline timing: one representative row for pytest-benchmark
+    pts = bench_points("SW1")
+    idx = bench_rtree("SW1")
+    benchmark.pedantic(
+        lambda: sequential_dbscan(pts, DATASETS["SW1"].t1_eps[0], 4, index=idx),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["Dataset", "eps", "Frac. Time"],
+        rows,
+        title="Table I: fraction of DBSCAN time in R-tree search "
+        "(paper: 0.48-0.72, minpts=4)",
+    )
+    report(table)
+    save_json("table1_rtree_fraction", {"scale": BENCH_SCALE, "rows": payload})

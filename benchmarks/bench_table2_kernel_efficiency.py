@@ -1,0 +1,129 @@
+"""Table II (S1) — kernel efficiency: GPUCalcGlobal vs GPUCalcShared.
+
+Paper: the global kernel wins everywhere; the shared kernel launches far
+more threads (one block per non-empty cell) and degrades most on
+uniformly distributed data (143% slower on SW4 vs 2023% slower on
+SDSS2).  This bench launches a single invocation of each kernel per
+dataset (no transfers, as in the paper) and reports the modeled device
+time plus nGPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_table, save_json
+from repro.data.scale import DATASETS
+from repro.gpusim import Device, launch
+from repro.index import GridIndex
+from repro.kernels import GPUCalcGlobal, GPUCalcShared
+
+from _bench_utils import BENCH_SCALE, bench_points, report
+
+# The paper uses eps=0.2 on the ~2M-point datasets and 0.07 on the ~5M
+# ones.  What drives the kernel comparison is the resulting *grid
+# occupancy* (points per non-empty cell), which the paper's nGPU numbers
+# imply: |D| / (nGPU_shared / 256).  At REPRO_BENCH_SCALE the same eps
+# values would give different occupancies, so we calibrate eps per
+# dataset to the paper's occupancy instead.
+PAPER_OCCUPANCY = {
+    "SW1": 1_864_620 / (37_409_792 / 256),     # ≈ 12.8 pts/cell
+    "SW4": 5_159_737 / (255_272_704 / 256),    # ≈ 5.2
+    "SDSS1": 2_000_128 / (110_757_120 / 256),  # ≈ 4.6
+    "SDSS2": 5_000_192 / (649_954_560 / 256),  # ≈ 2.0
+}
+TABLE2_ROWS = ["SW1", "SW4", "SDSS1", "SDSS2"]
+
+
+def calibrate_eps_for_occupancy(points, target: float) -> float:
+    """Find eps whose grid has ~``target`` points per non-empty cell.
+
+    Occupancy grows monotonically with eps, so bisect on log-eps.
+    """
+    lo, hi = 1e-3, 10.0
+    for _ in range(40):
+        mid = (lo * hi) ** 0.5
+        occ = GridIndex.build(points, mid).stats().mean_points_per_nonempty_cell
+        if abs(occ - target) / target < 0.02:
+            return mid
+        if occ > target:
+            hi = mid
+        else:
+            lo = mid
+    return (lo * hi) ** 0.5
+
+
+def _run_kernel(kernel_name: str, grid: GridIndex):
+    device = Device()
+    result = device.allocate_result_buffer(
+        (max(1024, 600 * len(grid)), 2), np.int64
+    )
+    if kernel_name == "global":
+        kernel = GPUCalcGlobal()
+        cfg = GPUCalcGlobal.launch_config(len(grid))
+    else:
+        kernel = GPUCalcShared()
+        cfg = GPUCalcShared.launch_config(grid)
+    res = launch(kernel, cfg, device, grid=grid, result=result)
+    return res
+
+
+def test_table2_kernel_efficiency(benchmark):
+    rows = []
+    payload = []
+    ratios = {}
+    for name in TABLE2_ROWS:
+        pts = bench_points(name)
+        eps = calibrate_eps_for_occupancy(pts, PAPER_OCCUPANCY[name])
+        grid = GridIndex.build(pts, eps)
+        rg = _run_kernel("global", grid)
+        rs = _run_kernel("shared", grid)
+        ratios[name] = rs.modeled_ms / rg.modeled_ms
+        rows.append(
+            [
+                name,
+                round(eps, 4),
+                round(grid.stats().mean_points_per_nonempty_cell, 1),
+                round(rg.modeled_ms, 3),
+                rg.n_gpu,
+                round(rs.modeled_ms, 3),
+                rs.n_gpu,
+            ]
+        )
+        payload.append(
+            {
+                "dataset": name,
+                "eps": eps,
+                "occupancy": grid.stats().mean_points_per_nonempty_cell,
+                "global_ms": rg.modeled_ms,
+                "global_ngpu": rg.n_gpu,
+                "global_wall_s": rg.wall_s,
+                "shared_ms": rs.modeled_ms,
+                "shared_ngpu": rs.n_gpu,
+                "shared_wall_s": rs.wall_s,
+                "nonempty_cells": len(grid.nonempty_cells),
+            }
+        )
+        # paper's claims: shared launches far more threads and is slower
+        assert rs.n_gpu > 5 * rg.n_gpu, name
+        assert rs.modeled_ms > rg.modeled_ms, name
+
+    # shared degrades *more* on the uniform SDSS data than on skewed SW
+    # (paper: 143% on SW4 vs 2023% on SDSS2)
+    assert ratios["SDSS2"] > ratios["SW4"]
+    assert ratios["SDSS1"] > ratios["SW1"]
+
+    grid = GridIndex.build(bench_points("SW1"), DATASETS["SW1"].t2_eps)
+    benchmark.pedantic(
+        lambda: _run_kernel("global", grid), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["Dataset", "eps", "pts/cell", "Global ms", "Global nGPU",
+         "Shared ms", "Shared nGPU"],
+        rows,
+        title="Table II: kernel efficiency, single invocation "
+        "(paper: global wins; shared worst on uniform SDSS)",
+    )
+    report(table)
+    save_json("table2_kernel_efficiency", {"scale": BENCH_SCALE, "rows": payload})

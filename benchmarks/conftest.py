@@ -1,0 +1,3 @@
+"""Pytest hooks for the benchmark suite (paper-table summary printing)."""
+
+from _bench_utils import pytest_terminal_summary  # noqa: F401

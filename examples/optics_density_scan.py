@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""OPTICS density scan from one GPU-built neighbor table (extension).
+
+The paper cites OPTICS as the dual of its reuse scenario: OPTICS fixes
+minpts and varies ε.  With a distance-annotated neighbor table the
+GPU-built neighborhoods drive OPTICS directly: this example computes
+the reachability ordering of a two-scale dataset, renders the
+reachability plot as ASCII, and extracts DBSCAN clusterings at several
+ε values from the single ordering.
+
+Usage::
+
+    python examples/optics_density_scan.py
+"""
+
+import numpy as np
+
+from repro import HybridDBSCAN
+from repro.core import extract_dbscan, optics
+
+
+def ascii_plot(values: np.ndarray, width: int = 78, height: int = 12) -> str:
+    """Crude ASCII rendering of the reachability plot."""
+    finite = np.isfinite(values)
+    cap = np.percentile(values[finite], 98) if finite.any() else 1.0
+    vals = np.minimum(np.where(finite, values, cap), cap)
+    # downsample to the terminal width
+    bins = np.array_split(vals, width)
+    cols = np.array([b.mean() if len(b) else 0.0 for b in bins])
+    rows = []
+    for level in range(height, 0, -1):
+        cut = cap * level / height
+        rows.append("".join("#" if c >= cut else " " for c in cols))
+    rows.append("-" * width)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    # nested densities: two tight cores inside one loose super-cluster
+    points = np.vstack(
+        [
+            rng.normal((3.0, 3.0), 0.08, (250, 2)),
+            rng.normal((3.8, 3.0), 0.08, (250, 2)),
+            rng.normal((3.4, 3.0), 0.55, (400, 2)),
+            rng.random((200, 2)) * 8.0,
+        ]
+    )
+    eps_max, minpts = 0.6, 8
+
+    h = HybridDBSCAN()
+    grid, table, timings = h.build_table(points, eps_max, with_distances=True)
+    print(
+        f"annotated T built once: {table.total_pairs} (point, neighbor, "
+        f"dist) entries in {timings.gpu_s*1e3:.1f} ms"
+    )
+
+    result = optics(table, minpts)
+    print("\nreachability plot (valleys = clusters; deeper = denser):")
+    print(ascii_plot(result.reachability_plot()))
+
+    print(f"{'eps':>6}  {'clusters':>8}  {'in clusters':>11}")
+    for eps in (0.08, 0.15, 0.3, 0.6):
+        labels = extract_dbscan(result, eps)
+        n_clusters = int(labels.max()) + 1 if (labels >= 0).any() else 0
+        print(f"{eps:>6.2f}  {n_clusters:>8}  {(labels >= 0).sum():>11}")
+    print(
+        "\nsmall eps isolates the two dense cores; large eps merges the "
+        "super-cluster — one table, every scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

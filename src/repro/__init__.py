@@ -1,0 +1,53 @@
+"""repro — HYBRID-DBSCAN: clustering throughput optimization on the GPU.
+
+A complete reproduction of Gowanlock, Rude, Blair, Li & Pankratius,
+*Clustering Throughput Optimization on the GPU* (IPDPSW 2017), built on
+a simulated CUDA device (:mod:`repro.gpusim`).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import HybridDBSCAN
+>>> rng = np.random.default_rng(0)
+>>> points = rng.random((5000, 2)) * 10
+>>> result = HybridDBSCAN().fit(points, eps=0.25, minpts=4)
+>>> result.labels.shape
+(5000,)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    BatchConfig,
+    BatchPlan,
+    BatchPlanner,
+    DBSCANResult,
+    HybridDBSCAN,
+    MultiClusterPipeline,
+    NeighborTable,
+    PipelineResult,
+    Variant,
+    VariantSet,
+    cluster_with_reuse,
+)
+from repro.gpusim import Device, DeviceSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HybridDBSCAN",
+    "DBSCANResult",
+    "MultiClusterPipeline",
+    "PipelineResult",
+    "cluster_with_reuse",
+    "NeighborTable",
+    "BatchConfig",
+    "BatchPlan",
+    "BatchPlanner",
+    "Variant",
+    "VariantSet",
+    "Device",
+    "DeviceSpec",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Small vectorized NumPy helpers shared across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["multi_arange", "expand_ranges", "run_boundaries"]
+
+
+def multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s+c) for s, c in zip(starts, counts)]``
+    without a Python loop.
+
+    Zero counts are allowed.  This is the core trick that lets the
+    vector kernel backends expand per-point lookup-array ranges into a
+    flat candidate list in O(total) NumPy work.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if starts.shape != counts.shape:
+        raise ValueError("starts and counts must have the same shape")
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    nz = counts > 0
+    starts = starts[nz]
+    counts = counts[nz]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    incr = np.ones(total, dtype=np.int64)
+    incr[0] = starts[0]
+    if len(counts) > 1:
+        reset_at = np.cumsum(counts[:-1])
+        incr[reset_at] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(incr)
+
+
+def expand_ranges(
+    ids: np.ndarray, starts: np.ndarray, ends_inclusive: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pair each ``ids[i]`` with every index in ``[starts[i], ends[i]]``.
+
+    Empty ranges are signalled by ``starts[i] == -1`` (the grid index's
+    empty-cell marker).  Returns ``(repeated_ids, flat_indices)``.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends_inclusive, dtype=np.int64)
+    valid = starts >= 0
+    counts = np.where(valid, ends - starts + 1, 0)
+    rep = np.repeat(ids, counts)
+    flat = multi_arange(starts[valid], counts[valid])
+    return rep, flat
+
+
+def run_boundaries(sorted_values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """For a sorted array, return ``(unique_values, run_start, run_end_exclusive)``."""
+    v = np.asarray(sorted_values)
+    if len(v) == 0:
+        e = np.empty(0, dtype=np.int64)
+        return v[:0], e, e
+    change = np.flatnonzero(v[1:] != v[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [len(v)]))
+    return v[starts], starts, ends

@@ -1,0 +1,127 @@
+"""Label-comparison metrics (no sklearn dependency).
+
+DBSCAN labelings are only defined up to (a) a permutation of cluster
+ids and (b) the assignment of *border* points that are ε-reachable from
+more than one cluster — an order-dependence acknowledged in the original
+DBSCAN paper.  :func:`same_clustering` tests strict equality modulo (a);
+:func:`dbscan_equivalent` additionally tolerates (b), which is the right
+equivalence when comparing two correct DBSCAN implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.neighbor_table import NeighborTable
+from repro.core.table_dbscan import NOISE, canonicalize_labels, core_mask
+
+__all__ = [
+    "same_clustering",
+    "dbscan_equivalent",
+    "adjusted_rand_index",
+    "cluster_sizes",
+    "noise_fraction",
+]
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"label shapes differ: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def same_clustering(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact partition equality modulo cluster-id permutation."""
+    a, b = _check_pair(a, b)
+    if not np.array_equal(a == NOISE, b == NOISE):
+        return False
+    return np.array_equal(canonicalize_labels(a), canonicalize_labels(b))
+
+
+def dbscan_equivalent(
+    a: np.ndarray,
+    b: np.ndarray,
+    table: NeighborTable,
+    minpts: int,
+) -> bool:
+    """DBSCAN-correct equivalence of two labelings over the same ``T``.
+
+    Requires: identical noise sets, identical clustering of *core*
+    points (modulo permutation), and every border point assigned — in
+    each labeling — to the cluster of one of its own core neighbors.
+
+    Labels must be in the same (table/sorted) point order as ``table``.
+    """
+    a, b = _check_pair(a, b)
+    if not np.array_equal(a == NOISE, b == NOISE):
+        return False
+    core = core_mask(table, minpts)
+    if not np.array_equal(
+        canonicalize_labels(a[core]), canonicalize_labels(b[core])
+    ):
+        return False
+    border = (~core) & (a != NOISE)
+    # canonical frame defined over core points only; both canonical
+    # forms number clusters by their lowest core member, so they agree
+    a_can = canonicalize_labels(np.where(core, a, NOISE))
+    b_can = canonicalize_labels(np.where(core, b, NOISE))
+
+    def raw_to_canon(raw: np.ndarray, canon: np.ndarray) -> dict[int, int]:
+        core_ids = np.flatnonzero(core)
+        return dict(zip(raw[core_ids].tolist(), canon[core_ids].tolist()))
+
+    map_a = raw_to_canon(a, a_can)
+    map_b = raw_to_canon(b, b_can)
+    for p in np.flatnonzero(border):
+        nbrs = table.neighbors(p)
+        nbr_clusters = set(a_can[nbrs[core[nbrs]]].tolist())
+        # every cluster containing a border point contains a core point,
+        # so the raw label is always in the map
+        if map_a.get(int(a[p])) not in nbr_clusters:
+            return False
+        if map_b.get(int(b[p])) not in nbr_clusters:
+            return False
+    return True
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """Adjusted Rand Index between two labelings (noise is one class)."""
+    a, b = _check_pair(a, b)
+    n = len(a)
+    if n == 0:
+        return 1.0
+    # contingency table via joint codes
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    nb = bi.max() + 1
+    joint = ai.astype(np.int64) * nb + bi
+    counts = np.bincount(joint, minlength=(ai.max() + 1) * nb).reshape(-1, nb)
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_ij = comb2(counts).sum()
+    sum_a = comb2(counts.sum(axis=1)).sum()
+    sum_b = comb2(counts.sum(axis=0)).sum()
+    total = comb2(np.array([n]))[0]
+    expected = sum_a * sum_b / total if total else 0.0
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_ij - expected) / (max_index - expected))
+
+
+def cluster_sizes(labels: np.ndarray) -> np.ndarray:
+    """Sizes of clusters 0..k-1 (noise excluded), descending."""
+    labels = np.asarray(labels)
+    member = labels[labels != NOISE]
+    if len(member) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.bincount(member))[::-1]
+
+
+def noise_fraction(labels: np.ndarray) -> float:
+    labels = np.asarray(labels)
+    return float((labels == NOISE).mean()) if len(labels) else 0.0

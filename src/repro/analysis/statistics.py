@@ -1,0 +1,102 @@
+"""Per-cluster descriptive statistics for discovery workflows.
+
+The paper's motivating use case ("Computer-Aided Discovery") examines
+datasets across densities and scales; these helpers summarize one
+clustering so sweep results can be compared quantitatively rather than
+by eyeballing label arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.table_dbscan import NOISE
+from repro.index.base import as_points
+
+__all__ = ["ClusterSummary", "ClusteringReport", "summarize_clustering"]
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """Descriptive statistics of one cluster."""
+
+    cluster_id: int
+    size: int
+    centroid: tuple[float, float]
+    #: RMS distance of members from the centroid
+    radius_rms: float
+    bbox: tuple[float, float, float, float]
+
+    @property
+    def bbox_area(self) -> float:
+        x0, y0, x1, y1 = self.bbox
+        return max(0.0, x1 - x0) * max(0.0, y1 - y0)
+
+    @property
+    def density(self) -> float:
+        """Members per unit bbox area (∞ for degenerate boxes)."""
+        area = self.bbox_area
+        return self.size / area if area > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class ClusteringReport:
+    """Whole-clustering summary."""
+
+    n_points: int
+    n_clusters: int
+    n_noise: int
+    clusters: tuple[ClusterSummary, ...]
+
+    @property
+    def noise_fraction(self) -> float:
+        return self.n_noise / self.n_points if self.n_points else 0.0
+
+    @property
+    def largest(self) -> ClusterSummary | None:
+        return max(self.clusters, key=lambda c: c.size, default=None)
+
+    def sizes(self) -> np.ndarray:
+        return np.array(sorted((c.size for c in self.clusters), reverse=True))
+
+
+def summarize_clustering(
+    points: np.ndarray, labels: np.ndarray
+) -> ClusteringReport:
+    """Compute per-cluster statistics (vectorized over members)."""
+    pts = as_points(points)
+    labels = np.asarray(labels)
+    if len(labels) != len(pts):
+        raise ValueError("labels and points must have equal length")
+    member = labels != NOISE
+    n_clusters = int(labels.max()) + 1 if member.any() else 0
+
+    summaries: list[ClusterSummary] = []
+    for c in range(n_clusters):
+        sel = pts[labels == c]
+        if len(sel) == 0:
+            raise ValueError(f"cluster id {c} has no members (labels not canonical)")
+        centroid = sel.mean(axis=0)
+        rms = float(np.sqrt(((sel - centroid) ** 2).sum(axis=1).mean()))
+        summaries.append(
+            ClusterSummary(
+                cluster_id=c,
+                size=int(len(sel)),
+                centroid=(float(centroid[0]), float(centroid[1])),
+                radius_rms=rms,
+                bbox=(
+                    float(sel[:, 0].min()),
+                    float(sel[:, 1].min()),
+                    float(sel[:, 0].max()),
+                    float(sel[:, 1].max()),
+                ),
+            )
+        )
+    return ClusteringReport(
+        n_points=len(pts),
+        n_clusters=n_clusters,
+        n_noise=int((~member).sum()),
+        clusters=tuple(summaries),
+    )

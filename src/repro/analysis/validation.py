@@ -1,0 +1,87 @@
+"""End-to-end cross-validation of HYBRID-DBSCAN against the reference.
+
+Used by the test suite and the examples to assert that the whole hybrid
+pipeline (grid index → GPU kernels → batching → neighbor table → table
+DBSCAN) produces DBSCAN-correct clusterings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.metrics import adjusted_rand_index, dbscan_equivalent, same_clustering
+from repro.baseline.sequential_dbscan import sequential_dbscan
+from repro.core.hybrid_dbscan import HybridDBSCAN
+
+__all__ = ["ValidationReport", "validate_hybrid"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one hybrid-vs-reference comparison."""
+
+    n_points: int
+    eps: float
+    minpts: int
+    exact_match: bool
+    dbscan_equivalent: bool
+    ari: float
+    hybrid_clusters: int
+    reference_clusters: int
+    hybrid_noise: int
+    reference_noise: int
+
+    @property
+    def ok(self) -> bool:
+        """True when the hybrid clustering is DBSCAN-correct."""
+        return self.dbscan_equivalent
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.ok else "MISMATCH"
+        return (
+            f"[{status}] n={self.n_points} eps={self.eps} minpts={self.minpts} "
+            f"clusters={self.hybrid_clusters}/{self.reference_clusters} "
+            f"noise={self.hybrid_noise}/{self.reference_noise} ARI={self.ari:.4f}"
+        )
+
+
+def validate_hybrid(
+    points: np.ndarray,
+    eps: float,
+    minpts: int,
+    *,
+    hybrid: Optional[HybridDBSCAN] = None,
+    reference_index: str = "brute",
+) -> ValidationReport:
+    """Cluster with both implementations and compare."""
+    h = hybrid or HybridDBSCAN()
+    grid, table, _ = h.build_table(points, eps)
+    hybrid_labels = h.cluster_table(grid, table, minpts)
+    ref_labels, _ = sequential_dbscan(points, eps, minpts, index_kind=reference_index)
+
+    exact = same_clustering(hybrid_labels, ref_labels)
+    if exact:
+        equivalent = True
+    else:
+        # compare in table (sorted) order for border-aware equivalence
+        equivalent = dbscan_equivalent(
+            hybrid_labels[grid.sort_order],
+            ref_labels[grid.sort_order],
+            table,
+            minpts,
+        )
+    return ValidationReport(
+        n_points=len(points),
+        eps=float(eps),
+        minpts=int(minpts),
+        exact_match=exact,
+        dbscan_equivalent=equivalent,
+        ari=adjusted_rand_index(hybrid_labels, ref_labels),
+        hybrid_clusters=int(hybrid_labels.max()) + 1 if (hybrid_labels >= 0).any() else 0,
+        reference_clusters=int(ref_labels.max()) + 1 if (ref_labels >= 0).any() else 0,
+        hybrid_noise=int((hybrid_labels == -1).sum()),
+        reference_noise=int((ref_labels == -1).sum()),
+    )

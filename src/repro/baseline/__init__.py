@@ -1,0 +1,17 @@
+"""Comparator implementations.
+
+* :func:`~repro.baseline.sequential_dbscan.sequential_dbscan` — the
+  paper's reference: scalar Algorithm 1 over an R-tree, instrumented to
+  report the fraction of time spent in index searches (Table I).
+* :class:`~repro.baseline.gdbscan.GDBSCAN` — a G-DBSCAN-style
+  graph-then-BFS baseline from the related work (Andrade et al. 2013).
+"""
+
+from repro.baseline.sequential_dbscan import (
+    IndexedPoints,
+    SequentialStats,
+    sequential_dbscan,
+)
+from repro.baseline.gdbscan import gdbscan
+
+__all__ = ["sequential_dbscan", "SequentialStats", "IndexedPoints", "gdbscan"]

@@ -1,0 +1,18 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` targets."""
+
+from repro.bench.asciiplot import render_ascii
+from repro.bench.harness import Trial, environment_info, run_trials
+from repro.bench.series import Series, SeriesSet, results_dir, save_json
+from repro.bench.tables import format_table
+
+__all__ = [
+    "run_trials",
+    "Trial",
+    "environment_info",
+    "format_table",
+    "render_ascii",
+    "Series",
+    "SeriesSet",
+    "save_json",
+    "results_dir",
+]

@@ -1,0 +1,63 @@
+"""Terminal line plots for figure-bench series.
+
+Benches print their figure panels as numeric columns (the data the
+paper's matplotlib plots show); this module adds a coarse ASCII
+rendering so trends — crossovers, who's on top — are visible directly
+in ``bench_output.txt`` without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.series import SeriesSet
+
+__all__ = ["render_ascii"]
+
+_MARKS = "ox+*#@%&"
+
+
+def render_ascii(
+    panel: SeriesSet, *, width: int = 70, height: int = 16, logy: bool = False
+) -> str:
+    """Render a :class:`SeriesSet` as an ASCII chart with a legend."""
+    pts = [(x, y) for s in panel.series for x, y in zip(s.x, s.y)]
+    if not pts:
+        return f"{panel.name}: (empty)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    if logy:
+        if min(ys) <= 0:
+            raise ValueError("logy requires positive y values")
+        ys = [math.log10(y) for y in ys]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+
+    cells = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(panel.series):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in zip(s.x, s.y):
+            yy = math.log10(y) if logy else y
+            col = min(width - 1, int((x - x0) / xspan * (width - 1)))
+            row = min(height - 1, int((yy - y0) / yspan * (height - 1)))
+            cells[height - 1 - row][col] = mark
+
+    y_hi = 10**y1 if logy else y1
+    y_lo = 10**y0 if logy else y0
+    lines = [f"{panel.name}  [{panel.y_label}{' (log)' if logy else ''}]"]
+    for i, row in enumerate(cells):
+        label = ""
+        if i == 0:
+            label = f"{y_hi:.3g}"
+        elif i == height - 1:
+            label = f"{y_lo:.3g}"
+        lines.append(f"{label:>9} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        f"{'':9}  {x0:.3g}{'':^{max(1, width - 16)}}{x1:.3g}  [{panel.x_label}]"
+    )
+    for idx, s in enumerate(panel.series):
+        lines.append(f"{'':9}  {_MARKS[idx % len(_MARKS)]} = {s.label}")
+    return "\n".join(lines)

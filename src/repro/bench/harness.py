@@ -1,0 +1,67 @@
+"""Timing methodology for the benchmark targets.
+
+The paper averages response times over 3 trials; :func:`run_trials`
+reproduces that protocol for arbitrary callables and reports mean/min/
+max wall seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["Trial", "run_trials", "environment_info"]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """Aggregated timing of one benchmark configuration."""
+
+    mean_s: float
+    min_s: float
+    max_s: float
+    n_trials: int
+    value: Any = None  # last return value of the callable
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_s * 1e3
+
+
+def run_trials(
+    fn: Callable[[], Any],
+    *,
+    n_trials: int = 3,
+    warmup: int = 0,
+) -> Trial:
+    """Run ``fn`` ``n_trials`` times (after ``warmup`` unmeasured runs)."""
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times: list[float] = []
+    value: Any = None
+    for _ in range(n_trials):
+        t0 = time.perf_counter()
+        value = fn()
+        times.append(time.perf_counter() - t0)
+    return Trial(
+        mean_s=sum(times) / len(times),
+        min_s=min(times),
+        max_s=max(times),
+        n_trials=n_trials,
+        value=value,
+    )
+
+
+def environment_info() -> dict[str, str]:
+    """Capture the execution environment for the experiment record."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": str(os.cpu_count()),
+        "repro_scale": os.environ.get("REPRO_SCALE", "0.01 (default)"),
+    }

@@ -1,0 +1,86 @@
+"""Figure-series containers and JSON result persistence.
+
+Every figure bench emits its series both as printed columns (the
+rows/series the paper's figure plots) and as JSON under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Series", "SeriesSet", "save_json", "results_dir"]
+
+
+def results_dir() -> Path:
+    """Directory for benchmark result artifacts (created on demand)."""
+    root = Path(os.environ.get("REPRO_RESULTS_DIR", Path(__file__).resolve().parents[3] / "benchmarks" / "results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+@dataclass
+class Series:
+    """One plotted curve: a label plus aligned x/y arrays."""
+
+    label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"label": self.label, "x": self.x, "y": self.y}
+
+
+@dataclass
+class SeriesSet:
+    """All curves of one figure panel."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def new_series(self, label: str) -> Series:
+        s = Series(label)
+        self.series.append(s)
+        return s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [s.to_dict() for s in self.series],
+            "meta": self.meta,
+        }
+
+    def format(self) -> str:
+        """Print the panel as aligned columns (x then one column/curve)."""
+        from repro.bench.tables import format_table
+
+        xs = sorted({x for s in self.series for x in s.x})
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows = []
+        for x in xs:
+            row: list[Any] = [x]
+            for s in self.series:
+                row.append(s.y[s.x.index(x)] if x in s.x else "")
+            rows.append(row)
+        return format_table(headers, rows, title=f"{self.name} [{self.y_label}]")
+
+
+def save_json(name: str, payload: dict[str, Any]) -> Path:
+    """Persist a result payload under benchmarks/results/."""
+    path = results_dir() / f"{name}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    return path

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``cluster``
+    HYBRID-DBSCAN one variant of a point file (or named dataset).
+``sweep``
+    Scenario S2: cluster a grid of ε values (optionally pipelined or via
+    one annotated table).
+``reuse``
+    Scenario S3: one table, many minpts, concurrent workers.
+``optics``
+    Compute an OPTICS ordering and extract clusterings.
+``info``
+    Describe a dataset (size, extent, density profile).
+
+Point inputs are either a path to a ``.npy``/``.csv`` file with x, y in
+the first two columns, or one of the paper's dataset names
+(SW1, SW4, SDSS1, SDSS2, SDSS3 — generated synthetically at
+``--scale``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.core import (
+    HybridDBSCAN,
+    MultiClusterPipeline,
+    VariantSet,
+    cluster_eps_sweep,
+    cluster_with_reuse,
+    extract_dbscan,
+    optics,
+)
+from repro.data import DATASETS, dataset, density_profile, load_points
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(source: str, scale: Optional[float]) -> np.ndarray:
+    if source in DATASETS:
+        return dataset(source, scale=scale)
+    return load_points(source)
+
+
+def _emit(payload: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2))
+        return
+    for k, v in payload.items():
+        print(f"{k}: {v}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="HYBRID-DBSCAN (Gowanlock et al. 2017) reproduction CLI",
+    )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("points", help="point file (.npy/.csv) or dataset name")
+        sp.add_argument("--scale", type=float, default=None,
+                        help="dataset scale for named datasets")
+        sp.add_argument("--json", action="store_true", help="JSON output")
+
+    c = sub.add_parser("cluster", help="cluster one (eps, minpts) variant")
+    common(c)
+    c.add_argument("--eps", type=float, required=True)
+    c.add_argument("--minpts", type=int, default=4)
+    c.add_argument("--kernel", choices=["global", "shared"], default="global")
+    c.add_argument("--labels-out", help="write labels to this .npy file")
+
+    s = sub.add_parser("sweep", help="scenario S2: eps sweep at fixed minpts")
+    common(s)
+    s.add_argument("--eps", type=float, nargs="+", required=True)
+    s.add_argument("--minpts", type=int, default=4)
+    s.add_argument("--pipelined", action="store_true")
+    s.add_argument(
+        "--annotated",
+        action="store_true",
+        help="one annotated table at max eps instead of per-eps tables",
+    )
+
+    r = sub.add_parser("reuse", help="scenario S3: one table, many minpts")
+    common(r)
+    r.add_argument("--eps", type=float, required=True)
+    r.add_argument("--minpts", type=int, nargs="+", required=True)
+    r.add_argument("--threads", type=int, default=16)
+
+    o = sub.add_parser("optics", help="OPTICS ordering + extraction")
+    common(o)
+    o.add_argument("--eps", type=float, required=True,
+                   help="generating distance (table eps)")
+    o.add_argument("--minpts", type=int, default=4)
+    o.add_argument("--extract", type=float, nargs="*", default=[],
+                   help="extract DBSCAN clusterings at these eps values")
+
+    i = sub.add_parser("info", help="describe a dataset")
+    common(i)
+    i.add_argument("--eps", type=float, default=None,
+                   help="eps for the density profile (default: auto)")
+    return p
+
+
+def _cmd_cluster(args) -> int:
+    pts = _load(args.points, args.scale)
+    res = HybridDBSCAN(kernel=args.kernel).fit(pts, args.eps, args.minpts)
+    if args.labels_out:
+        np.save(args.labels_out, res.labels)
+    _emit(
+        {
+            "points": len(pts),
+            "eps": res.eps,
+            "minpts": res.minpts,
+            "clusters": res.n_clusters,
+            "noise": res.n_noise,
+            "pairs": res.total_pairs,
+            "batches": res.n_batches,
+            "total_s": round(res.timings.total_s, 4),
+            "gpu_s": round(res.timings.gpu_s, 4),
+            "dbscan_s": round(res.timings.dbscan_s, 4),
+        },
+        args.json,
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    pts = _load(args.points, args.scale)
+    if args.annotated:
+        sweep = cluster_eps_sweep(pts, args.eps, args.minpts)
+        payload = {
+            "mode": "annotated",
+            "build_s": round(sweep.build_s, 4),
+            "total_s": round(sweep.total_s, 4),
+            "results": [
+                {"eps": o.eps, "clusters": o.n_clusters, "noise": o.n_noise}
+                for o in sweep.outcomes
+            ],
+        }
+    else:
+        variants = VariantSet.eps_sweep(args.eps, args.minpts)
+        res = MultiClusterPipeline().run(pts, variants, pipelined=args.pipelined)
+        payload = {
+            "mode": "pipelined" if args.pipelined else "sequential",
+            "total_s": round(res.total_s, 4),
+            "results": [
+                {
+                    "eps": o.variant.eps,
+                    "clusters": o.n_clusters,
+                    "noise": o.n_noise,
+                }
+                for o in res.outcomes
+            ],
+        }
+    _emit(payload, args.json)
+    return 0
+
+
+def _cmd_reuse(args) -> int:
+    pts = _load(args.points, args.scale)
+    res = cluster_with_reuse(
+        pts, args.eps, args.minpts, n_threads=args.threads
+    )
+    _emit(
+        {
+            "eps": res.eps,
+            "threads": res.n_threads,
+            "build_s": round(res.build_s, 4),
+            "cluster_s": round(res.cluster_s, 4),
+            "thread_speedup": round(res.thread_speedup, 2),
+            "results": [
+                {"minpts": o.minpts, "clusters": o.n_clusters, "noise": o.n_noise}
+                for o in res.outcomes
+            ],
+        },
+        args.json,
+    )
+    return 0
+
+
+def _cmd_optics(args) -> int:
+    pts = _load(args.points, args.scale)
+    h = HybridDBSCAN()
+    grid, table, _ = h.build_table(pts, args.eps, with_distances=True)
+    result = optics(table, args.minpts)
+    extractions = []
+    for eps in args.extract:
+        labels = extract_dbscan(result, eps)
+        extractions.append(
+            {
+                "eps": eps,
+                "clusters": int(labels.max()) + 1 if (labels >= 0).any() else 0,
+                "noise": int((labels == -1).sum()),
+            }
+        )
+    reach = result.reachability_plot()
+    finite = reach[np.isfinite(reach)]
+    _emit(
+        {
+            "points": len(pts),
+            "generating_eps": args.eps,
+            "minpts": args.minpts,
+            "finite_reachability": len(finite),
+            "median_reachability": round(float(np.median(finite)), 5)
+            if len(finite)
+            else None,
+            "extractions": extractions,
+        },
+        args.json,
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    pts = _load(args.points, args.scale)
+    span = pts.max(axis=0) - pts.min(axis=0)
+    eps = args.eps or float(min(span) / 50)
+    prof = density_profile(pts, eps)
+    _emit(
+        {
+            "points": len(pts),
+            "extent_x": round(float(span[0]), 4),
+            "extent_y": round(float(span[1]), 4),
+            "profile_eps": round(eps, 5),
+            "mean_neighbors": round(prof.mean, 2),
+            "median_neighbors": prof.median,
+            "p95_neighbors": prof.p95,
+            "max_neighbors": prof.max,
+            "skewness_ratio": round(prof.skewness_ratio, 2),
+        },
+        args.json,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "cluster": _cmd_cluster,
+    "sweep": _cmd_sweep,
+    "reuse": _cmd_reuse,
+    "optics": _cmd_optics,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""HYBRID-DBSCAN — the paper's contribution.
+
+* :class:`~repro.core.hybrid_dbscan.HybridDBSCAN` — Algorithm 4.
+* :class:`~repro.core.neighbor_table.NeighborTable` — the table ``T``.
+* :class:`~repro.core.batching.BatchPlanner` — Section VI's batching.
+* :mod:`~repro.core.table_dbscan` — DBSCAN over ``T``.
+* :mod:`~repro.core.pipeline` — the S2 multi-clustering pipeline.
+* :mod:`~repro.core.reuse` — the S3 neighbor-table reuse scheme.
+"""
+
+from repro.core.batching import BatchConfig, BatchPlan, BatchPlanner
+from repro.core.hybrid_dbscan import DBSCANResult, HybridDBSCAN, TimingBreakdown
+from repro.core.multi_eps import EpsSweepResult, cluster_eps_sweep
+from repro.core.neighbor_table import NeighborTable
+from repro.core.optics import OpticsResult, extract_dbscan, optics
+from repro.core.pipeline import MultiClusterPipeline, PipelineResult
+from repro.core.reuse import ReuseResult, cluster_with_reuse
+from repro.core.table_dbscan import (
+    NOISE,
+    dbscan_from_annotated_table,
+    dbscan_from_table_components,
+    dbscan_from_table_expand,
+)
+from repro.core.variants import Variant, VariantSet
+
+__all__ = [
+    "BatchConfig",
+    "BatchPlan",
+    "BatchPlanner",
+    "HybridDBSCAN",
+    "DBSCANResult",
+    "TimingBreakdown",
+    "NeighborTable",
+    "MultiClusterPipeline",
+    "PipelineResult",
+    "ReuseResult",
+    "cluster_with_reuse",
+    "EpsSweepResult",
+    "cluster_eps_sweep",
+    "OpticsResult",
+    "optics",
+    "extract_dbscan",
+    "NOISE",
+    "dbscan_from_table_expand",
+    "dbscan_from_table_components",
+    "dbscan_from_annotated_table",
+    "Variant",
+    "VariantSet",
+]

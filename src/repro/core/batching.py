@@ -1,0 +1,374 @@
+"""The efficient batching scheme of Section VI.
+
+The result set can exceed GPU global memory, so the neighbor table is
+built in ``n_b`` batches:
+
+1. a counting kernel over a uniformly distributed fraction ``f`` (1%) of
+   the points yields ``e_b``; the total result size estimate is
+   ``a_b = e_b / f``;
+2. with an overestimation factor ``α`` (0.05),
+   ``n_b = ceil((1 + α) · a_b / b_b)``   (Equation 1);
+3. the per-stream device buffer ``b_b`` is *static* when the estimate is
+   large (paper: ``a_b ≥ 3·10⁸ → b_b = 10⁸``) and *variable* otherwise
+   (``b_b = a_b (1 + 2α) / 3`` — α doubled because small estimates are
+   noisier), so small workloads don't pay pinned-allocation time for
+   huge buffers;
+4. batch ``l`` processes points ``{g·n_b + l}`` — strided, which is
+   spatially uniform because points are stored in spatial sort order —
+   keeping every batch's result size ``|R_l| ≲ b_b``;
+5. batches round-robin over 3 streams, overlapping kernel, device sort,
+   transfer to pinned staging, and host-side table construction.
+
+At repo scale the paper's thresholds would always yield the 3-batch
+minimum, so :class:`BatchConfig` defaults to 1/100-scaled thresholds;
+``BatchConfig.paper()`` restores the published constants.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.gpusim.device import Device
+from repro.gpusim.launch import launch
+from repro.gpusim.memory import ResultBufferOverflow
+from repro.gpusim.thrust import sort_pairs
+from repro.index.grid import GridIndex
+from repro.kernels.count_kernel import NeighborCountKernel, sample_point_ids
+from repro.kernels.global_kernel import GPUCalcGlobal
+from repro.kernels.shared_kernel import GPUCalcShared
+from repro.core.neighbor_table import NeighborTable
+
+__all__ = ["BatchConfig", "BatchPlan", "BatchPlanner", "build_neighbor_table"]
+
+PAIR_DTYPE = np.int64
+#: bytes per plain (key, value) pair; annotated (key, value, dist)
+#: rows are 24 B — the 50% transfer overhead of the multi-ε extension
+PAIR_BYTES = 16
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Tunables of the Section VI batching scheme."""
+
+    #: overestimation factor α of Equation 1
+    alpha: float = 0.05
+    #: sampling fraction f for the estimation kernel
+    sample_fraction: float = 0.01
+    #: CUDA streams (the paper found 3 optimal)
+    n_streams: int = 3
+    #: estimate above which the static buffer size is used
+    static_threshold: int = 3_000_000
+    #: static per-stream buffer capacity (pairs)
+    static_buffer_size: int = 1_000_000
+    #: hard floor so tiny datasets still get a sane buffer
+    min_buffer_size: int = 1024
+    #: strided (paper) or contiguous (ablation) batch assignment
+    batch_order: Literal["strided", "contiguous"] = "strided"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.alpha < 1:
+            raise ValueError("alpha must be in [0, 1)")
+        if not 0 < self.sample_fraction <= 1:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        if self.n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+
+    @classmethod
+    def paper(cls, **overrides) -> "BatchConfig":
+        """The constants as published (e_b ≥ 3·10⁸ → b_b = 10⁸)."""
+        params = dict(static_threshold=300_000_000, static_buffer_size=100_000_000)
+        params.update(overrides)
+        return cls(**params)
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Output of the planning phase."""
+
+    #: e_b — neighbor count over the f-sample
+    eb: int
+    #: a_b — estimated total result set size
+    ab: int
+    #: b_b — per-stream device buffer capacity (pairs)
+    buffer_size: int
+    #: n_b — number of batches (Equation 1)
+    n_batches: int
+    #: whether the variable (small-estimate) sizing rule applied
+    variable_buffer: bool
+    #: wall seconds spent estimating
+    estimate_s: float = 0.0
+
+
+class BatchPlanner:
+    """Computes a :class:`BatchPlan` for one (dataset, ε) pair."""
+
+    def __init__(self, config: Optional[BatchConfig] = None):
+        self.config = config or BatchConfig()
+
+    def plan(
+        self,
+        grid: GridIndex,
+        device: Device,
+        *,
+        backend: str = "vector",
+    ) -> BatchPlan:
+        cfg = self.config
+        t0 = time.perf_counter()
+        sample = sample_point_ids(len(grid), cfg.sample_fraction)
+        kernel = NeighborCountKernel()
+        res = launch(
+            kernel,
+            NeighborCountKernel.launch_config(len(sample)),
+            device,
+            backend="vector",  # the estimator itself is always cheap
+            grid=grid,
+            sample_ids=sample,
+        )
+        eb = int(res.value)
+        ab = max(1, int(math.ceil(eb * len(grid) / len(sample))))
+        return self.plan_from_estimate(
+            eb=eb, ab=ab, estimate_s=time.perf_counter() - t0
+        )
+
+    def plan_from_estimate(
+        self, *, eb: int, ab: int, estimate_s: float = 0.0
+    ) -> BatchPlan:
+        """Apply the buffer sizing and Equation 1 to a known estimate."""
+        cfg = self.config
+        if ab >= cfg.static_threshold:
+            bb = cfg.static_buffer_size
+            variable = False
+        else:
+            # variable sizing with doubled α: one batch per stream
+            bb = max(
+                cfg.min_buffer_size,
+                int(math.ceil(ab * (1 + 2 * cfg.alpha) / cfg.n_streams)),
+            )
+            variable = True
+        nb = max(1, math.ceil((1 + cfg.alpha) * ab / bb))
+        return BatchPlan(
+            eb=eb,
+            ab=ab,
+            buffer_size=bb,
+            n_batches=nb,
+            variable_buffer=variable,
+            estimate_s=estimate_s,
+        )
+
+
+@dataclass
+class TableBuildStats:
+    """Wall-clock and device accounting from one table construction."""
+
+    plan: BatchPlan
+    kernel_s: float = 0.0
+    sort_s: float = 0.0
+    transfer_s: float = 0.0
+    host_copy_s: float = 0.0
+    total_s: float = 0.0
+    n_batches_run: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+    overflow_retries: int = 0
+
+
+def build_neighbor_table(
+    grid: GridIndex,
+    device: Device,
+    *,
+    kernel: Literal["global", "shared"] = "global",
+    config: Optional[BatchConfig] = None,
+    backend: str = "vector",
+    block_dim: int = 256,
+    plan: Optional[BatchPlan] = None,
+    max_overflow_retries: int = 4,
+    with_distances: bool = False,
+) -> tuple[NeighborTable, TableBuildStats]:
+    """Construct the neighbor table ``T`` with the batching scheme.
+
+    ``with_distances=True`` builds an *annotated* table whose entries
+    carry dist(p, q) — 50% more result traffic, but the table can then
+    be reused for any ε' ≤ ε (see :mod:`repro.core.multi_eps`) and
+    drives OPTICS (:mod:`repro.core.optics`).  Requires the global
+    kernel.
+
+    Runs ``n_b`` batches over ``n_streams`` worker threads, each owning a
+    device stream, a device result buffer, and a pinned host staging
+    buffer.  Each worker launches the kernel for its batch, sorts the
+    batch's result set by key on the device, transfers it to pinned
+    memory, and ingests it into the (thread-safe) table.
+
+    If a batch overflows its device buffer (the estimate was too low
+    despite α), the whole construction restarts with doubled ``n_b`` —
+    the robustness fallback for adversarial densities.
+    """
+    if with_distances and kernel != "global":
+        raise ValueError("annotated tables require the global kernel")
+    cfg = config or BatchConfig()
+    planner = BatchPlanner(cfg)
+    the_plan = plan or planner.plan(grid, device, backend=backend)
+    stats = TableBuildStats(plan=the_plan)
+    t_start = time.perf_counter()
+
+    for attempt in range(max_overflow_retries + 1):
+        nb = the_plan.n_batches * (2**attempt)
+        try:
+            table = _run_batches(
+                grid,
+                device,
+                the_plan,
+                nb,
+                cfg,
+                kernel,
+                backend,
+                block_dim,
+                stats,
+                with_distances,
+            )
+            stats.overflow_retries = attempt
+            stats.total_s = time.perf_counter() - t_start
+            return table.finalize(), stats
+        except ResultBufferOverflow:
+            if attempt == max_overflow_retries:
+                raise
+            # discard the failed attempt's partial accounting
+            stats.batch_sizes.clear()
+            stats.n_batches_run = 0
+            continue
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _run_batches(
+    grid: GridIndex,
+    device: Device,
+    plan: BatchPlan,
+    n_batches: int,
+    cfg: BatchConfig,
+    kernel_name: str,
+    backend: str,
+    block_dim: int,
+    stats: TableBuildStats,
+    with_distances: bool = False,
+) -> NeighborTable:
+    kernel = GPUCalcGlobal() if kernel_name == "global" else GPUCalcShared()
+    table = NeighborTable(len(grid), grid.eps, with_distances=with_distances)
+    n_workers = min(cfg.n_streams, n_batches)
+
+    # per-stream resources: device result buffer + pinned staging buffer;
+    # annotated results carry a float distance column (rows are float64,
+    # exact for ids below 2**53)
+    width = 3 if with_distances else 2
+    dtype = np.float64 if with_distances else PAIR_DTYPE
+    streams = [device.new_stream(f"batch-stream{i}") for i in range(n_workers)]
+    result_bufs = [
+        device.allocate_result_buffer(
+            (plan.buffer_size, width), dtype, name=f"gpuResultSet{i}"
+        )
+        for i in range(n_workers)
+    ]
+    pinned_bufs = [
+        device.alloc_pinned((plan.buffer_size, width), dtype)
+        for i in range(n_workers)
+    ]
+    stats_lock = threading.Lock()
+    ga = grid.device_arrays()
+
+    def run_batch(l: int, worker: int) -> None:
+        stream = streams[worker]
+        rbuf = result_bufs[worker]
+        pinned = pinned_bufs[worker]
+        rbuf.reset()
+        t0 = time.perf_counter()
+        if kernel_name == "global":
+            cfg_launch = GPUCalcGlobal.launch_config(
+                len(grid), n_batches=n_batches, block_dim=block_dim
+            )
+        else:
+            cfg_launch = GPUCalcShared.launch_config(grid, block_dim=block_dim)
+        if backend == "vector":
+            kw = dict(
+                grid=grid,
+                result=rbuf,
+                batch=l,
+                n_batches=n_batches,
+                batch_order=cfg.batch_order,
+            )
+            if with_distances:
+                kw["emit_distance"] = True
+            launch(
+                kernel, cfg_launch, device, backend="vector",
+                stream=stream, **kw,
+            )
+        else:
+            kwargs = dict(
+                D=ga["D"],
+                A=ga["A"],
+                G_min=ga["G_min"],
+                G_max=ga["G_max"],
+                eps=grid.eps,
+                nx=grid.nx,
+                ny=grid.ny,
+                result=rbuf,
+                batch=l,
+                n_batches=n_batches,
+            )
+            if kernel_name == "global":
+                kwargs.update(xmin=grid.xmin, ymin=grid.ymin)
+                if with_distances:
+                    kwargs.update(emit_distance=True)
+            else:
+                kwargs.update(S=GPUCalcShared.schedule(grid))
+            launch(
+                kernel, cfg_launch, device, backend="interpreter",
+                stream=stream, **kwargs,
+            )
+        t1 = time.perf_counter()
+        sort_pairs(rbuf, device, stream=stream)
+        t2 = time.perf_counter()
+        n = rbuf.count
+        staged = device.from_device(
+            rbuf, out=pinned.data, stream=stream, pinned=True, count=n
+        )
+        t3 = time.perf_counter()
+        if with_distances:
+            table.add_batch(
+                staged[:n, 0].astype(np.int64),
+                staged[:n, 1].astype(np.int64),
+                staged[:n, 2],
+            )
+        else:
+            table.add_batch(staged[:n, 0], staged[:n, 1])
+        t4 = time.perf_counter()
+        with stats_lock:
+            stats.kernel_s += t1 - t0
+            stats.sort_s += t2 - t1
+            stats.transfer_s += t3 - t2
+            stats.host_copy_s += t4 - t3
+            stats.batch_sizes.append(int(n))
+            stats.n_batches_run += 1
+
+    try:
+        if n_workers == 1:
+            for l in range(n_batches):
+                run_batch(l, 0)
+        else:
+            # one long-lived task per worker so each stream's device
+            # buffer and pinned buffer are never shared between threads
+            def worker_loop(w: int) -> None:
+                for l in range(w, n_batches, n_workers):
+                    run_batch(l, w)
+
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = [pool.submit(worker_loop, w) for w in range(n_workers)]
+                for f in futures:
+                    f.result()
+    finally:
+        for buf in result_bufs:
+            buf.free()
+    return table

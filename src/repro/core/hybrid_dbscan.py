@@ -1,0 +1,201 @@
+"""HYBRID-DBSCAN — Algorithm 4 of the paper.
+
+``fit`` runs the full pipeline for one ``(ε, minpts)`` variant:
+
+1. construct the grid index ``(G, A)`` from ``D`` and ε (host);
+2. launch ``GPUCalcGlobal`` (or ``GPUCalcShared``) over ``n_b`` batches
+   on 3 streams, each batch device-sorted by key and staged through
+   pinned memory (Sections IV–VI);
+3. assemble the neighbor table ``T`` on the host;
+4. run the modified DBSCAN that looks up ``T`` instead of an index.
+
+``build_table``/``cluster_table`` expose steps 1–3 and 4 separately for
+the S2 pipeline (``repro.core.pipeline``) and the S3 reuse scheme
+(``repro.core.reuse``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.core.batching import (
+    BatchConfig,
+    TableBuildStats,
+    build_neighbor_table,
+)
+from repro.core.neighbor_table import NeighborTable
+from repro.core.table_dbscan import NOISE, dbscan_from_table
+from repro.gpusim.device import Device
+from repro.index.grid import GridIndex
+
+__all__ = ["TimingBreakdown", "DBSCANResult", "HybridDBSCAN"]
+
+
+@dataclass
+class TimingBreakdown:
+    """Timing of one HYBRID-DBSCAN run (seconds).
+
+    ``gpu_s`` is the paper's "GPU time": the wall-clock time to produce
+    ``T`` (index construction, kernels, sort, transfers, host table
+    assembly) — Figure 3's green curve.  ``dbscan_s`` is the host
+    clustering over ``T`` — the blue curve.  The per-phase fields
+    (``kernel_s`` …) are *summed across the 3 stream workers*, so they
+    can exceed wall-clock when batches overlap — that excess is exactly
+    the overlap the batching scheme wins.
+    """
+
+    index_s: float = 0.0
+    kernel_s: float = 0.0
+    sort_s: float = 0.0
+    transfer_s: float = 0.0
+    table_s: float = 0.0
+    dbscan_s: float = 0.0
+    total_s: float = 0.0
+    #: wall-clock seconds to build T (index + batched kernels + table)
+    build_wall_s: float = 0.0
+    #: simulated device milliseconds (profiler; not wall clock)
+    device_ms: float = 0.0
+
+    @property
+    def gpu_s(self) -> float:
+        """Wall-clock table-construction time (Figure 3's 'GPU time')."""
+        return self.build_wall_s
+
+    @property
+    def worker_phase_sum_s(self) -> float:
+        """Cross-worker sum of phase times (≥ gpu_s under overlap)."""
+        return (
+            self.index_s + self.kernel_s + self.sort_s
+            + self.transfer_s + self.table_s
+        )
+
+
+@dataclass
+class DBSCANResult:
+    """Labels (original point order) plus run metadata."""
+
+    labels: np.ndarray
+    eps: float
+    minpts: int
+    timings: TimingBreakdown
+    n_batches: int = 1
+    total_pairs: int = 0
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.labels.max()) + 1 if (self.labels != NOISE).any() else 0
+
+    @property
+    def n_noise(self) -> int:
+        return int((self.labels == NOISE).sum())
+
+
+class HybridDBSCAN:
+    """The hybrid CPU–GPU DBSCAN of Algorithm 4.
+
+    Parameters
+    ----------
+    device:
+        Simulated GPU; a default K20c-like device is created if omitted.
+    kernel:
+        ``"global"`` (GPUCalcGlobal, the paper's recommendation) or
+        ``"shared"`` (GPUCalcShared).
+    batch_config:
+        Section VI batching tunables.
+    backend:
+        ``"vector"`` (scaled runs) or ``"interpreter"`` (small-input
+        fidelity runs).
+    dbscan_impl:
+        ``"components"`` (vectorized, default) or ``"expand"``
+        (faithful Algorithm 1 adaptation).
+    """
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        *,
+        kernel: Literal["global", "shared"] = "global",
+        batch_config: Optional[BatchConfig] = None,
+        backend: Literal["vector", "interpreter"] = "vector",
+        dbscan_impl: Literal["components", "expand"] = "components",
+        block_dim: int = 256,
+    ):
+        self.device = device or Device()
+        self.kernel = kernel
+        self.batch_config = batch_config or BatchConfig()
+        self.backend = backend
+        self.dbscan_impl = dbscan_impl
+        self.block_dim = block_dim
+
+    # ------------------------------------------------------------------
+    # phase 1–3: neighbor table construction
+    # ------------------------------------------------------------------
+    def build_table(
+        self, points: np.ndarray, eps: float, *, with_distances: bool = False
+    ) -> tuple[GridIndex, NeighborTable, TimingBreakdown]:
+        """Construct the grid index and the neighbor table ``T``.
+
+        ``with_distances`` builds an annotated table (global kernel
+        only) usable at any ε' ≤ ε and by OPTICS.
+        """
+        t0 = time.perf_counter()
+        grid = GridIndex.build(points, eps)
+        t1 = time.perf_counter()
+        table, stats = build_neighbor_table(
+            grid,
+            self.device,
+            kernel=self.kernel,
+            config=self.batch_config,
+            backend=self.backend,
+            block_dim=self.block_dim,
+            with_distances=with_distances,
+        )
+        timings = TimingBreakdown(
+            index_s=t1 - t0,
+            kernel_s=stats.kernel_s,
+            sort_s=stats.sort_s,
+            transfer_s=stats.transfer_s,
+            table_s=stats.host_copy_s,
+            device_ms=self.device.profiler.total_device_ms(),
+        )
+        timings.build_wall_s = time.perf_counter() - t0
+        timings.total_s = timings.build_wall_s
+        self._last_build_stats: TableBuildStats = stats
+        return grid, table, timings
+
+    # ------------------------------------------------------------------
+    # phase 4: clustering from T
+    # ------------------------------------------------------------------
+    def cluster_table(
+        self, grid: GridIndex, table: NeighborTable, minpts: int
+    ) -> np.ndarray:
+        """Run the modified DBSCAN over ``T``; labels in original order."""
+        labels_sorted = dbscan_from_table(table, minpts, impl=self.dbscan_impl)
+        labels = np.empty_like(labels_sorted)
+        labels[grid.sort_order] = labels_sorted
+        return labels
+
+    # ------------------------------------------------------------------
+    # the whole Algorithm 4
+    # ------------------------------------------------------------------
+    def fit(self, points: np.ndarray, eps: float, minpts: int) -> DBSCANResult:
+        """Cluster ``points`` for one variant ``(ε, minpts)``."""
+        t0 = time.perf_counter()
+        grid, table, timings = self.build_table(points, eps)
+        t1 = time.perf_counter()
+        labels = self.cluster_table(grid, table, minpts)
+        t2 = time.perf_counter()
+        timings.dbscan_s = t2 - t1
+        timings.total_s = t2 - t0
+        return DBSCANResult(
+            labels=labels,
+            eps=float(eps),
+            minpts=int(minpts),
+            timings=timings,
+            n_batches=self._last_build_stats.n_batches_run,
+            total_pairs=table.total_pairs,
+        )

@@ -1,0 +1,32 @@
+"""Dataset substrates.
+
+The paper evaluates on two real dataset families we cannot redistribute:
+ionospheric total-electron-content measurements (SW1/SW4) and SDSS DR12
+galaxy samples (SDSS1–3).  :mod:`repro.data.synthetic` generates
+deterministic synthetic analogues that preserve the properties the
+paper's conclusions depend on — SW's heavy over-densities around
+receiver sites versus SDSS's near-uniform field — at sizes scaled by
+``REPRO_SCALE`` (default 1/100 of the paper's counts).
+"""
+
+from repro.data.loaders import load_points, save_points
+from repro.data.scale import DATASETS, DatasetSpec, get_scale, scaled_size
+from repro.data.synthetic import (
+    dataset,
+    density_profile,
+    make_sdss,
+    make_sw,
+)
+
+__all__ = [
+    "dataset",
+    "make_sw",
+    "make_sdss",
+    "density_profile",
+    "DATASETS",
+    "DatasetSpec",
+    "get_scale",
+    "scaled_size",
+    "load_points",
+    "save_points",
+]

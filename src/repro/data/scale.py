@@ -1,0 +1,137 @@
+"""Dataset registry and the ``REPRO_SCALE`` size scaling.
+
+The paper's datasets hold 1.9M–15.2M points; the pure-Python reference
+implementation makes full-size runs impractical here, so all benches use
+``REPRO_SCALE``-scaled sizes (default 0.01) that preserve the paper's
+size *ordering* (SW1 < SDSS1 < SDSS2 ≈ SW4 < SDSS3).  Spatial extents
+are chosen per dataset so the paper's own ε values remain meaningful:
+each spec fixes a reference ε (the midpoint of its S2 sweep) and a
+target mean ε-neighborhood size, from which the generator derives the
+domain side length.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["DatasetSpec", "DATASETS", "get_scale", "scaled_size"]
+
+#: environment variable controlling dataset sizes
+SCALE_ENV = "REPRO_SCALE"
+DEFAULT_SCALE = 0.01
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one of the paper's datasets."""
+
+    name: str
+    #: point count in the paper
+    paper_n: int
+    #: "sw" (skewed, receiver clumps) or "sdss" (near-uniform)
+    family: str
+    #: reference ε (midpoint of the dataset's S2 sweep)
+    eps_ref: float
+    #: target mean |N_ε(p)| at eps_ref — sets the generated density
+    target_neighbors: float
+    #: S2 ε sweep (Table III)
+    s2_eps: tuple[float, ...]
+    #: S3 ε values (Table V)
+    s3_eps: tuple[float, ...]
+    #: S3 minpts grid (Table V)
+    s3_minpts: tuple[int, ...]
+    #: Table I ε probes
+    t1_eps: tuple[float, ...]
+    #: Table II kernel-efficiency ε
+    t2_eps: float
+
+
+def _steps(start: float, stop: float, step: float) -> tuple[float, ...]:
+    n = int(round((stop - start) / step)) + 1
+    return tuple(round(start + i * step, 10) for i in range(n))
+
+
+_MINPTS_A = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 200, 400, 800, 1000, 2000, 3000)
+_MINPTS_B = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 75, 80)
+_MINPTS_C = (5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150)
+
+DATASETS: dict[str, DatasetSpec] = {
+    "SW1": DatasetSpec(
+        name="SW1",
+        paper_n=1_864_620,
+        family="sw",
+        eps_ref=0.8,
+        target_neighbors=60.0,
+        s2_eps=_steps(0.1, 1.5, 0.1),
+        s3_eps=(0.3, 0.5, 0.7),
+        s3_minpts=_MINPTS_A,
+        t1_eps=(0.20, 1.40),
+        t2_eps=0.2,
+    ),
+    "SW4": DatasetSpec(
+        name="SW4",
+        paper_n=5_159_737,
+        family="sw",
+        eps_ref=0.3,
+        target_neighbors=60.0,
+        s2_eps=_steps(0.1, 0.5, 0.05),
+        s3_eps=(0.1, 0.2, 0.3),
+        s3_minpts=_MINPTS_A,
+        t1_eps=(0.15, 0.45),
+        t2_eps=0.07,
+    ),
+    "SDSS1": DatasetSpec(
+        name="SDSS1",
+        paper_n=2_000_000,
+        family="sdss",
+        eps_ref=0.8,
+        target_neighbors=40.0,
+        s2_eps=_steps(0.1, 1.5, 0.1),
+        s3_eps=(0.3, 0.5, 0.7),
+        s3_minpts=_MINPTS_B,
+        t1_eps=(0.20, 1.40),
+        t2_eps=0.2,
+    ),
+    "SDSS2": DatasetSpec(
+        name="SDSS2",
+        paper_n=5_000_000,
+        family="sdss",
+        eps_ref=0.3,
+        target_neighbors=40.0,
+        s2_eps=_steps(0.1, 0.5, 0.05),
+        s3_eps=(0.2, 0.3, 0.4),
+        s3_minpts=_MINPTS_C,
+        t1_eps=(0.15, 0.45),
+        t2_eps=0.07,
+    ),
+    "SDSS3": DatasetSpec(
+        name="SDSS3",
+        paper_n=15_228_633,
+        family="sdss",
+        eps_ref=0.095,
+        target_neighbors=25.0,
+        s2_eps=_steps(0.06, 0.13, 0.01),
+        s3_eps=(0.07, 0.11, 0.15),
+        s3_minpts=_MINPTS_B,
+        t1_eps=(0.07, 0.12),
+        t2_eps=0.07,
+    ),
+}
+
+
+def get_scale(override: float | None = None) -> float:
+    """Current size scale: explicit override > env var > default 0.01."""
+    if override is not None:
+        scale = float(override)
+    else:
+        scale = float(os.environ.get(SCALE_ENV, DEFAULT_SCALE))
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    return scale
+
+
+def scaled_size(name: str, scale: float | None = None) -> int:
+    """Point count for a dataset at the current scale."""
+    spec = DATASETS[name]
+    return max(100, int(round(spec.paper_n * get_scale(scale))))

@@ -1,0 +1,55 @@
+"""Simulated CUDA-like GPU substrate.
+
+The paper's experiments ran on an NVIDIA Tesla K20c.  This package provides
+a functional stand-in: a device with bounded global memory, a SIMT
+interpreter that executes kernels per thread (with shared memory, block
+barriers and atomics), a vectorized fast path for scale, streams with an
+overlap-aware timeline, a Thrust-style ``sort_by_key``, and a profiler that
+plays the role of the NVIDIA Visual Profiler (kernel times, thread counts,
+bytes moved).
+
+Public entry points
+-------------------
+:class:`~repro.gpusim.device.Device` / :class:`~repro.gpusim.device.DeviceSpec`
+    Construct a simulated device.
+:func:`~repro.gpusim.launch.launch`
+    Launch a :class:`~repro.gpusim.launch.Kernel` on a device.
+:func:`~repro.gpusim.thrust.sort_by_key`
+    Device-side stable key sort.
+"""
+
+from repro.gpusim.device import Device, DeviceSpec
+from repro.gpusim.memory import (
+    DeviceBuffer,
+    DeviceMemoryError,
+    PinnedHostBuffer,
+    ResultBufferOverflow,
+)
+from repro.gpusim.launch import Kernel, LaunchConfig, launch
+from repro.gpusim.occupancy import Occupancy, OccupancyLimits, occupancy
+from repro.gpusim.streams import Event, Stream, Timeline
+from repro.gpusim.thrust import sort_by_key, sort_pairs
+from repro.gpusim.timeline_view import render_timeline
+from repro.gpusim.profiler import Profiler
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "DeviceBuffer",
+    "DeviceMemoryError",
+    "PinnedHostBuffer",
+    "ResultBufferOverflow",
+    "Kernel",
+    "LaunchConfig",
+    "launch",
+    "Occupancy",
+    "OccupancyLimits",
+    "occupancy",
+    "Stream",
+    "Event",
+    "Timeline",
+    "render_timeline",
+    "sort_by_key",
+    "sort_pairs",
+    "Profiler",
+]

@@ -1,0 +1,182 @@
+"""The simulated GPU device.
+
+:class:`DeviceSpec` describes the hardware; the default values approximate
+the NVIDIA Tesla K20c used in the paper (13 SMs, 5 GB global memory, PCIe
+2.0-era host link).  :class:`Device` owns the global memory pool, the cost
+model, the profiler, and the stream timeline, and provides the host-side
+API (`to_device`, `from_device`, `alloc_pinned`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.memory import (
+    DeviceBuffer,
+    GlobalMemoryPool,
+    PinnedHostBuffer,
+    ResultBuffer,
+)
+from repro.gpusim.profiler import Profiler, TransferRecord
+from repro.gpusim.streams import Stream, Timeline
+
+__all__ = ["DeviceSpec", "Device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware description of the simulated card (K20c defaults)."""
+
+    name: str = "SimTesla-K20c"
+    sm_count: int = 13
+    cores_per_sm: int = 192
+    clock_mhz: float = 706.0
+    global_mem_bytes: int = 5 * 1024**3
+    shared_mem_per_block_bytes: int = 48 * 1024
+    max_threads_per_block: int = 1024
+    warp_size: int = 32
+    copy_engines: int = 2
+
+    def cost_model(self) -> CostModel:
+        """Derive a :class:`CostModel` scaled to this device's width."""
+        width = self.sm_count * self.cores_per_sm  # parallel lanes
+        cycles_per_ms = self.clock_mhz * 1e3
+        # ~6 cycles per fused 2-D distance test across all lanes
+        compute = width * cycles_per_ms / 6.0
+        return CostModel(compute_rate_per_ms=compute)
+
+
+class Device:
+    """A simulated GPU: memory pool + cost model + profiler + timeline."""
+
+    def __init__(
+        self,
+        spec: Optional[DeviceSpec] = None,
+        *,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+    ):
+        self.spec = spec or DeviceSpec()
+        self.cost = cost_model or self.spec.cost_model()
+        self.memory = GlobalMemoryPool(self.spec.global_mem_bytes)
+        self.profiler = Profiler()
+        self.timeline = Timeline()
+        self.default_stream = Stream(self.timeline, name="default")
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        shape: Union[int, tuple[int, ...]],
+        dtype: Union[np.dtype, str] = np.float64,
+        *,
+        name: str = "",
+        fill: Optional[float] = None,
+    ) -> DeviceBuffer:
+        """Allocate device global memory."""
+        return self.memory.allocate(shape, dtype, name=name, fill=fill)
+
+    def allocate_result_buffer(
+        self,
+        capacity: int,
+        dtype: Union[np.dtype, str],
+        *,
+        name: str = "gpuResultSet",
+    ) -> ResultBuffer:
+        """Allocate an append-only result buffer of ``capacity`` elements."""
+        buf = self.memory.allocate(capacity, dtype, name=name, result_buffer=True)
+        assert isinstance(buf, ResultBuffer)
+        return buf
+
+    def alloc_pinned(
+        self, shape: Union[int, tuple[int, ...]], dtype: Union[np.dtype, str]
+    ) -> PinnedHostBuffer:
+        """Allocate page-locked host memory (charged by the cost model)."""
+        arr = np.empty(shape, dtype=dtype)
+        ms = self.cost.pinned_alloc_time_ms(arr.nbytes)
+        self.profiler.record_pinned_alloc(ms)
+        return PinnedHostBuffer(data=arr, alloc_time_ms=ms)
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+    def to_device(
+        self,
+        host_array: np.ndarray,
+        *,
+        name: str = "",
+        stream: Optional[Stream] = None,
+        pinned: bool = False,
+    ) -> DeviceBuffer:
+        """Copy a host array into a fresh device buffer."""
+        host_array = np.ascontiguousarray(host_array)
+        buf = self.allocate(host_array.shape, host_array.dtype, name=name)
+        buf.data[...] = host_array
+        self._record_transfer("h2d", host_array.nbytes, pinned, stream, name)
+        return buf
+
+    def from_device(
+        self,
+        buf: Union[DeviceBuffer, np.ndarray],
+        *,
+        out: Optional[np.ndarray] = None,
+        stream: Optional[Stream] = None,
+        pinned: bool = False,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        """Copy a device buffer (or its filled prefix) back to the host.
+
+        ``out`` may be a slice of a :class:`PinnedHostBuffer`'s array, in
+        which case the transfer is charged at the pinned rate.
+        """
+        src = buf.view() if isinstance(buf, ResultBuffer) else (
+            buf.data if isinstance(buf, DeviceBuffer) else buf
+        )
+        if count is not None:
+            src = src[:count]
+        if out is None:
+            out = np.empty_like(src)
+        target = out[: len(src)] if out.shape != src.shape else out
+        np.copyto(target, src)
+        name = buf.name if isinstance(buf, DeviceBuffer) else ""
+        self._record_transfer("d2h", src.nbytes, pinned, stream, name)
+        return target
+
+    def _record_transfer(
+        self,
+        direction: str,
+        nbytes: int,
+        pinned: bool,
+        stream: Optional[Stream],
+        name: str,
+    ) -> None:
+        cost = self.cost.transfer_time_ms(nbytes, pinned=pinned)
+        s = stream or self.default_stream
+        s.submit(f"{direction}:{name}", direction, cost.milliseconds)  # type: ignore[arg-type]
+        self.profiler.record_transfer(
+            TransferRecord(
+                direction=direction,
+                nbytes=nbytes,
+                modeled_ms=cost.milliseconds,
+                pinned=pinned,
+                stream=s.name,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # streams
+    # ------------------------------------------------------------------
+    def new_stream(self, name: str = "") -> Stream:
+        return Stream(self.timeline, name=name)
+
+    def reset(self) -> None:
+        """Clear profiler and timeline (keeps memory accounting)."""
+        self.profiler.reset()
+        self.timeline = Timeline()
+        self.default_stream = Stream(self.timeline, name="default")

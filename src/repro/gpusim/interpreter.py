@@ -1,0 +1,108 @@
+"""SIMT interpreter: executes kernel device code thread-by-thread.
+
+Blocks run one after another; within a block, every thread advances to its
+next barrier (or to completion), the barrier is validated, and the block
+resumes — reproducing CUDA's phase semantics for ``__syncthreads()``.
+This backend is the fidelity reference: the vectorized fast paths in
+:mod:`repro.kernels` are property-tested against it.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable
+
+from repro.gpusim.costmodel import KernelCounters
+from repro.gpusim.kernelapi import (
+    Barrier,
+    BarrierDivergenceError,
+    BlockState,
+    KernelContext,
+)
+
+__all__ = ["run_interpreted"]
+
+
+def _advance(gen):
+    """Advance one thread generator; return its yielded Barrier or None."""
+    try:
+        item = next(gen)
+    except StopIteration:
+        return None
+    if not isinstance(item, Barrier):
+        raise TypeError(
+            "device code may only yield ctx.syncthreads() barriers, "
+            f"got {item!r}"
+        )
+    return item
+
+
+def run_interpreted(
+    device_code: Callable,
+    *,
+    grid_dim: int,
+    block_dim: int,
+    counters: KernelCounters,
+    shared_mem_limit: int,
+    args: tuple = (),
+    kwargs: dict | None = None,
+) -> None:
+    """Execute ``device_code`` for every thread of a ``grid_dim`` grid.
+
+    ``device_code(ctx, *args, **kwargs)`` may be a generator function
+    (kernels with barriers) or a plain function (barrier-free kernels).
+    """
+    if grid_dim <= 0 or block_dim <= 0:
+        raise ValueError("grid_dim and block_dim must be positive")
+    kwargs = kwargs or {}
+    counters.blocks += grid_dim
+    counters.threads += grid_dim * block_dim
+    is_gen = inspect.isgeneratorfunction(device_code)
+
+    for block_idx in range(grid_dim):
+        block = BlockState(block_idx=block_idx, block_dim=block_dim)
+        contexts = [
+            KernelContext(
+                thread_idx=t,
+                block=block,
+                grid_dim=grid_dim,
+                counters=counters,
+                shared_mem_limit=shared_mem_limit,
+            )
+            for t in range(block_dim)
+        ]
+        if not is_gen:
+            for ctx in contexts:
+                device_code(ctx, *args, **kwargs)
+            continue
+
+        gens = [device_code(ctx, *args, **kwargs) for ctx in contexts]
+        live = list(range(block_dim))
+        # Threads that return before the first barrier (the usual
+        # ``if gid >= n: return`` guard) are legal.  A thread that passes
+        # a barrier and then returns while block-mates reach a *later*
+        # barrier is the CUDA undefined behaviour we flag.
+        exited_late: set[int] = set()
+        phase = 0
+        while live:
+            phase += 1
+            at_barrier: list[int] = []
+            for t in live:
+                barrier = _advance(gens[t])
+                if barrier is None:
+                    if phase > 1:
+                        exited_late.add(t)
+                else:
+                    if barrier.sequence != phase:
+                        raise BarrierDivergenceError(
+                            f"thread {t} of block {block_idx} reached "
+                            f"barrier #{barrier.sequence} in phase {phase}"
+                        )
+                    at_barrier.append(t)
+            if at_barrier and exited_late:
+                raise BarrierDivergenceError(
+                    f"block {block_idx}: threads {sorted(exited_late)[:4]} "
+                    f"exited after a barrier while threads "
+                    f"{at_barrier[:4]} still reach barrier phase {phase}"
+                )
+            live = at_barrier

@@ -1,0 +1,164 @@
+"""Kernel objects and the launch entry point.
+
+A :class:`Kernel` bundles two implementations of the same computation:
+
+``device_code``
+    Per-thread generator code run by the SIMT interpreter
+    (:mod:`repro.gpusim.interpreter`) — the fidelity reference.
+``vector_impl``
+    A vectorized NumPy implementation producing identical results at
+    scale, filling the same :class:`~repro.gpusim.costmodel.KernelCounters`
+    analytically.
+
+:func:`launch` dispatches to a backend, derives the simulated kernel time
+from the counters via the device cost model, schedules the launch on a
+stream's compute engine, and records a profiler entry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Literal, Optional
+
+from repro.gpusim.costmodel import KernelCounters
+from repro.gpusim.device import Device
+from repro.gpusim.interpreter import run_interpreted
+from repro.gpusim.occupancy import Occupancy, OccupancyLimits, occupancy
+from repro.gpusim.profiler import KernelRecord
+from repro.gpusim.streams import Stream
+
+__all__ = ["Kernel", "LaunchConfig", "LaunchResult", "launch"]
+
+Backend = Literal["vector", "interpreter"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry for one launch."""
+
+    grid_dim: int
+    block_dim: int
+
+    def __post_init__(self) -> None:
+        if self.grid_dim <= 0 or self.block_dim <= 0:
+            raise ValueError("grid_dim and block_dim must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        """Paper's ``nGPU``: blocks × block size."""
+        return self.grid_dim * self.block_dim
+
+    @staticmethod
+    def for_elements(n: int, block_dim: int = 256) -> "LaunchConfig":
+        """One thread per element, rounded up to whole blocks."""
+        if n <= 0:
+            raise ValueError("element count must be positive")
+        grid = (n + block_dim - 1) // block_dim
+        return LaunchConfig(grid_dim=grid, block_dim=block_dim)
+
+
+class Kernel:
+    """Base class for simulated GPU kernels.
+
+    Subclasses set :attr:`name` and implement :meth:`device_code` and/or
+    :meth:`vector_impl`.  :attr:`registers_per_thread` and
+    :meth:`shared_mem_per_block` feed the occupancy calculation.
+    """
+
+    name: str = "kernel"
+    #: register pressure assumed for the occupancy calculation
+    registers_per_thread: int = 32
+
+    def shared_mem_per_block(self, block_dim: int) -> int:
+        """Static shared-memory footprint in bytes (0 = none)."""
+        return 0
+
+    def device_code(self, ctx, **kwargs):  # pragma: no cover - interface
+        """Per-thread device code (generator function)."""
+        raise NotImplementedError(f"{self.name} has no interpreter path")
+
+    def vector_impl(
+        self, config: LaunchConfig, counters: KernelCounters, **kwargs
+    ) -> Any:  # pragma: no cover - interface
+        """Vectorized whole-grid implementation."""
+        raise NotImplementedError(f"{self.name} has no vector path")
+
+
+@dataclass
+class LaunchResult:
+    """What a launch returns to host code."""
+
+    value: Any
+    counters: KernelCounters
+    modeled_ms: float
+    wall_s: float
+    config: LaunchConfig
+    backend: Backend
+    occupancy: Optional[Occupancy] = None
+
+    @property
+    def n_gpu(self) -> int:
+        return self.config.total_threads
+
+
+def launch(
+    kernel: Kernel,
+    config: LaunchConfig,
+    device: Device,
+    *,
+    backend: Backend = "vector",
+    stream: Optional[Stream] = None,
+    **kwargs,
+) -> LaunchResult:
+    """Launch ``kernel`` on ``device`` and record profiler metrics."""
+    counters = KernelCounters()
+    t0 = time.perf_counter()
+    if backend == "interpreter":
+        run_interpreted(
+            kernel.device_code,
+            grid_dim=config.grid_dim,
+            block_dim=config.block_dim,
+            counters=counters,
+            shared_mem_limit=device.spec.shared_mem_per_block_bytes,
+            kwargs=kwargs,
+        )
+        value = None
+    elif backend == "vector":
+        counters.blocks += config.grid_dim
+        counters.threads += config.total_threads
+        value = kernel.vector_impl(config, counters, **kwargs)
+    else:  # pragma: no cover - guarded by Literal
+        raise ValueError(f"unknown backend {backend!r}")
+    wall = time.perf_counter() - t0
+
+    occ = occupancy(
+        config.block_dim,
+        limits=OccupancyLimits.for_spec(device.spec),
+        registers_per_thread=kernel.registers_per_thread,
+        shared_mem_per_block_bytes=kernel.shared_mem_per_block(config.block_dim),
+    )
+    modeled_ms = device.cost.kernel_time_ms(counters, occupancy=occ.fraction)
+    s = stream or device.default_stream
+    s.submit(kernel.name, "compute", modeled_ms)
+    device.profiler.record_kernel(
+        KernelRecord(
+            name=kernel.name,
+            grid_dim=config.grid_dim,
+            block_dim=config.block_dim,
+            modeled_ms=modeled_ms,
+            wall_s=wall,
+            counters=counters,
+            stream=s.name,
+            backend=backend,
+        )
+    )
+    return LaunchResult(
+        value=value,
+        counters=counters,
+        modeled_ms=modeled_ms,
+        wall_s=wall,
+        config=config,
+        backend=backend,
+        occupancy=occ,
+    )

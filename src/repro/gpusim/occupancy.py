@@ -1,0 +1,109 @@
+"""SM occupancy calculation for the simulated device.
+
+Kepler-class occupancy rules: each SM can host a bounded number of
+resident blocks, threads, registers and shared memory; the binding
+constraint determines how many blocks are co-resident and therefore how
+much latency-hiding parallelism a kernel achieves.  ``launch`` computes
+a kernel's occupancy and scales the cost model's compute rate by it —
+this is how a shared-memory-hungry kernel configuration pays for its
+footprint in the simulation, mirroring the CUDA occupancy calculator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["OccupancyLimits", "Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Per-SM residency limits (Kepler GK110 defaults, as in the K20c)."""
+
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 16
+    registers_per_sm: int = 65536
+    shared_mem_per_sm_bytes: int = 48 * 1024
+    warp_size: int = 32
+
+    @classmethod
+    def for_spec(cls, spec: DeviceSpec) -> "OccupancyLimits":
+        return cls(
+            shared_mem_per_sm_bytes=spec.shared_mem_per_block_bytes,
+            warp_size=spec.warp_size,
+        )
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one launch."""
+
+    active_blocks_per_sm: int
+    active_warps_per_sm: int
+    max_warps_per_sm: int
+    #: which resource bound the residency
+    limiter: str
+
+    @property
+    def fraction(self) -> float:
+        """Achieved occupancy: active / maximum resident warps."""
+        if self.max_warps_per_sm == 0:
+            return 0.0
+        return self.active_warps_per_sm / self.max_warps_per_sm
+
+
+def occupancy(
+    block_dim: int,
+    *,
+    limits: OccupancyLimits | None = None,
+    registers_per_thread: int = 32,
+    shared_mem_per_block_bytes: int = 0,
+) -> Occupancy:
+    """Compute achieved occupancy for a launch configuration.
+
+    Mirrors the CUDA occupancy calculator: residency is the minimum of
+    the block-count, thread-count, register and shared-memory bounds.
+    """
+    lim = limits or OccupancyLimits()
+    if block_dim < 1:
+        raise ValueError("block_dim must be >= 1")
+    if block_dim > lim.max_threads_per_sm:
+        raise ValueError(
+            f"block_dim {block_dim} exceeds max threads/SM "
+            f"{lim.max_threads_per_sm}"
+        )
+    if registers_per_thread < 1:
+        raise ValueError("registers_per_thread must be >= 1")
+    if shared_mem_per_block_bytes < 0:
+        raise ValueError("shared memory must be non-negative")
+
+    bounds = {
+        "blocks": lim.max_blocks_per_sm,
+        "threads": lim.max_threads_per_sm // block_dim,
+        "registers": lim.registers_per_sm // (registers_per_thread * block_dim),
+    }
+    if shared_mem_per_block_bytes > 0:
+        if shared_mem_per_block_bytes > lim.shared_mem_per_sm_bytes:
+            raise ValueError(
+                f"shared memory/block {shared_mem_per_block_bytes} exceeds "
+                f"the SM's {lim.shared_mem_per_sm_bytes}"
+            )
+        bounds["shared_mem"] = (
+            lim.shared_mem_per_sm_bytes // shared_mem_per_block_bytes
+        )
+
+    limiter = min(bounds, key=lambda k: bounds[k])
+    blocks = bounds[limiter]
+    if blocks == 0:
+        raise ValueError("launch configuration fits no blocks on an SM")
+    warps_per_block = -(-block_dim // lim.warp_size)  # ceil
+    active_warps = blocks * warps_per_block
+    max_warps = lim.max_threads_per_sm // lim.warp_size
+    return Occupancy(
+        active_blocks_per_sm=blocks,
+        active_warps_per_sm=min(active_warps, max_warps),
+        max_warps_per_sm=max_warps,
+        limiter=limiter,
+    )

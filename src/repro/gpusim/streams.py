@@ -1,0 +1,136 @@
+"""CUDA-style streams with an overlap-aware simulated timeline.
+
+The device has three hardware engines — ``compute``, ``h2d`` and ``d2h``
+copy engines — matching the dual-copy-engine Tesla cards the paper used.
+Work items submitted to the same :class:`Stream` are serialized; items in
+different streams overlap whenever their engines are free.  The
+:class:`Timeline` computes start/end instants for every operation so the
+profiler can report how much transfer time the batching scheme hides
+behind kernel execution (Section VI of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+__all__ = ["Engine", "Stream", "Event", "TimelineOp", "Timeline"]
+
+Engine = Literal["compute", "h2d", "d2h", "host"]
+
+_ENGINES: tuple[Engine, ...] = ("compute", "h2d", "d2h", "host")
+
+_stream_ids = itertools.count(0)
+
+
+@dataclass(frozen=True)
+class TimelineOp:
+    """One scheduled operation on the simulated timeline (times in ms)."""
+
+    name: str
+    stream_id: int
+    engine: Engine
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class Event:
+    """A recorded instant in a stream (CUDA event analogue)."""
+
+    timestamp_ms: float = 0.0
+    recorded: bool = False
+
+
+class Stream:
+    """An ordered queue of device operations."""
+
+    def __init__(self, timeline: "Timeline", name: str = ""):
+        self.timeline = timeline
+        self.stream_id = next(_stream_ids)
+        self.name = name or f"stream{self.stream_id}"
+        #: simulated instant at which this stream's last op completes
+        self.available_ms = 0.0
+
+    def record_event(self) -> Event:
+        return Event(timestamp_ms=self.available_ms, recorded=True)
+
+    def wait_event(self, event: Event) -> None:
+        """Block subsequent work in this stream until ``event``."""
+        if not event.recorded:
+            raise ValueError("cannot wait on an unrecorded event")
+        self.available_ms = max(self.available_ms, event.timestamp_ms)
+
+    def submit(self, name: str, engine: Engine, duration_ms: float) -> TimelineOp:
+        return self.timeline.schedule(self, name, engine, duration_ms)
+
+
+class Timeline:
+    """Engine-aware scheduler for simulated stream operations."""
+
+    def __init__(self) -> None:
+        self._engine_available: dict[Engine, float] = {e: 0.0 for e in _ENGINES}
+        self.ops: list[TimelineOp] = []
+        self._lock = threading.Lock()
+
+    def schedule(
+        self, stream: Stream, name: str, engine: Engine, duration_ms: float
+    ) -> TimelineOp:
+        """Place one operation; returns its scheduled interval."""
+        if duration_ms < 0:
+            raise ValueError("operation duration must be non-negative")
+        if engine not in self._engine_available:
+            raise ValueError(f"unknown engine {engine!r}")
+        with self._lock:
+            start = max(stream.available_ms, self._engine_available[engine])
+            end = start + duration_ms
+            stream.available_ms = end
+            self._engine_available[engine] = end
+            op = TimelineOp(
+                name=name,
+                stream_id=stream.stream_id,
+                engine=engine,
+                start_ms=start,
+                end_ms=end,
+            )
+            self.ops.append(op)
+            return op
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def makespan_ms(self) -> float:
+        """End of the last scheduled operation."""
+        return max((op.end_ms for op in self.ops), default=0.0)
+
+    def busy_ms(self, engine: Engine) -> float:
+        return sum(op.duration_ms for op in self.ops if op.engine == engine)
+
+    def serialized_ms(self) -> float:
+        """Total work if nothing overlapped (sum of all durations)."""
+        return sum(op.duration_ms for op in self.ops)
+
+    def overlap_ms(self) -> float:
+        """Time hidden by engine overlap (serialized - makespan)."""
+        return self.serialized_ms() - self.makespan_ms
+
+    def ops_for_stream(self, stream: Stream) -> list[TimelineOp]:
+        return [op for op in self.ops if op.stream_id == stream.stream_id]
+
+    def reset(self) -> None:
+        self._engine_available = {e: 0.0 for e in _ENGINES}
+        self.ops.clear()
+        # Streams keep their own availability; callers recreate streams
+        # after a reset (Device.reset_timeline does this).
+
+
+def concurrent_streams(timeline: Timeline, n: int) -> list[Stream]:
+    """Convenience: create ``n`` independent streams on one timeline."""
+    return [Stream(timeline, name=f"stream{i}") for i in range(n)]

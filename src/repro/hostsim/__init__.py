@@ -1,0 +1,27 @@
+"""Simulated multicore host.
+
+The paper's host is a 16-core Xeon running OpenMP threads; this
+execution environment may have as little as one core, so — exactly as
+the GPU is simulated by :mod:`repro.gpusim` — the host-side concurrency
+of scenarios S2 (producer/consumer pipeline) and S3 (16 threads sharing
+one neighbor table) is *modeled*: every task runs serially (producing
+real results and real per-task wall times), and the parallel makespan is
+computed by a deterministic list scheduler over ``n`` simulated cores.
+
+``mode="threads"`` remains available on the S2/S3 entry points for hosts
+with real cores.
+"""
+
+from repro.hostsim.scheduler import (
+    PipelineSchedule,
+    Schedule,
+    schedule_parallel,
+    schedule_pipeline,
+)
+
+__all__ = [
+    "schedule_parallel",
+    "schedule_pipeline",
+    "Schedule",
+    "PipelineSchedule",
+]

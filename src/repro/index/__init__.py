@@ -1,0 +1,15 @@
+"""Spatial indexing substrates.
+
+* :class:`~repro.index.grid.GridIndex` — the ε-cell grid of Section IV
+  (arrays ``G`` and ``A`` of Figure 1), used by the GPU kernels.
+* :class:`~repro.index.rtree.RTree` — the CPU R-tree used by the paper's
+  sequential reference implementation.
+* :class:`~repro.index.base.BruteForceIndex` — O(n) scan, the ground
+  truth for tests.
+"""
+
+from repro.index.base import BruteForceIndex, SpatialIndex
+from repro.index.grid import GridIndex
+from repro.index.rtree import RTree
+
+__all__ = ["SpatialIndex", "BruteForceIndex", "GridIndex", "RTree"]

@@ -1,0 +1,27 @@
+"""The paper's GPU kernels, run on the simulated device.
+
+* :class:`~repro.kernels.global_kernel.GPUCalcGlobal` — Algorithm 2:
+  one thread per point, global memory only, with the strided batching
+  extension of Section VI.
+* :class:`~repro.kernels.shared_kernel.GPUCalcShared` — Algorithm 3:
+  one block per non-empty grid cell, origin/comparison cells paged
+  through shared memory with block barriers.
+* :class:`~repro.kernels.count_kernel.NeighborCountKernel` — the result
+  set size estimator of Section VI (counts neighbors of an ``f``-sample).
+
+Each kernel provides interpreter device code and a vectorized backend;
+they produce identical key/value result sets (property-tested).
+"""
+
+from repro.kernels.count_kernel import NeighborCountKernel
+from repro.kernels.global_kernel import GPUCalcGlobal, batch_point_ids
+from repro.kernels.hybrid_select import HybridSelectKernel
+from repro.kernels.shared_kernel import GPUCalcShared
+
+__all__ = [
+    "GPUCalcGlobal",
+    "GPUCalcShared",
+    "HybridSelectKernel",
+    "NeighborCountKernel",
+    "batch_point_ids",
+]

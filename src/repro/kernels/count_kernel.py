@@ -1,0 +1,127 @@
+"""The result-set-size estimation kernel of Section VI.
+
+To size the batch buffers, the paper counts the neighbors within ε of a
+uniformly distributed fraction ``f`` of the points (default 1%) — a
+kernel "similar to Algorithm 2" that returns only a count ``e_b``, not a
+result set, and therefore runs in negligible time.  The total result size
+estimate is then ``a_b = e_b / f``.
+
+Because the grid index stores points in spatial sort order, a *strided*
+sample of point ids is a spatially uniform sample — the same property the
+strided batch assignment exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._nputil import expand_ranges
+from repro.gpusim.costmodel import KernelCounters
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel, LaunchConfig
+from repro.gpusim.memory import DeviceBuffer
+from repro.index.grid import GridIndex
+
+__all__ = ["NeighborCountKernel", "sample_point_ids"]
+
+
+def sample_point_ids(n_points: int, fraction: float) -> np.ndarray:
+    """A strided (spatially uniform, given sorted points) sample of ids
+    covering ``ceil(fraction * n_points)`` points."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    n_sample = max(1, int(np.ceil(fraction * n_points)))
+    stride = max(1, n_points // n_sample)
+    return np.arange(0, n_points, stride, dtype=np.int64)[:n_sample]
+
+
+class NeighborCountKernel(Kernel):
+    """Counts ε-neighbors of a sample; returns ``e_b``."""
+
+    name = "NeighborCount"
+
+    def device_code(
+        self,
+        ctx: KernelContext,
+        *,
+        D: np.ndarray,
+        A: np.ndarray,
+        G_min: np.ndarray,
+        G_max: np.ndarray,
+        eps: float,
+        xmin: float,
+        ymin: float,
+        nx: int,
+        ny: int,
+        sample_ids: np.ndarray,
+        counter: DeviceBuffer,
+    ) -> None:
+        gid = ctx.global_id
+        if gid >= len(sample_ids):
+            ctx.count_divergent()
+            return
+        pid = int(sample_ids[gid])
+        px, py = D[pid]
+        ctx.count_global_load(2)
+        eps2 = eps * eps
+        cx = min(int((px - xmin) / eps), nx - 1)
+        cy = min(int((py - ymin) / eps), ny - 1)
+        local = 0
+        for dy in (-1, 0, 1):
+            yy = cy + dy
+            if yy < 0 or yy >= ny:
+                continue
+            for dx in (-1, 0, 1):
+                xx = cx + dx
+                if xx < 0 or xx >= nx:
+                    continue
+                h = yy * nx + xx
+                lo = G_min[h]
+                ctx.count_global_load(2)
+                if lo < 0:
+                    continue
+                for a in range(lo, G_max[h] + 1):
+                    qx, qy = D[A[a]]
+                    ctx.count_global_load(3)
+                    ctx.count_distance()
+                    if (px - qx) ** 2 + (py - qy) ** 2 <= eps2:
+                        local += 1
+        if local:
+            ctx.atomic_add(counter, 0, local)
+
+    def vector_impl(
+        self,
+        config: LaunchConfig,
+        counters: KernelCounters,
+        *,
+        grid: GridIndex,
+        sample_ids: np.ndarray,
+        counter: DeviceBuffer | None = None,
+    ) -> int:
+        """Returns ``e_b`` — neighbors within ε over the sample."""
+        ids = np.asarray(sample_ids, dtype=np.int64)
+        pts = grid.points
+        nbr = grid.neighbor_cells_of_points(grid.cell_of_point[ids])
+        valid = nbr >= 0
+        safe = np.where(valid, nbr, 0)
+        starts = np.where(valid, grid.cell_min[safe], -1)
+        ends = np.where(valid, grid.cell_max[safe], -1)
+        rep_ids, flat_a = expand_ranges(
+            np.repeat(ids, nbr.shape[1]), starts.ravel(), ends.ravel()
+        )
+        cand = grid.lookup[flat_a]
+        diff = pts[rep_ids] - pts[cand]
+        hits = int(
+            ((diff[:, 0] ** 2 + diff[:, 1] ** 2) <= grid.eps * grid.eps).sum()
+        )
+        counters.distance_calcs += len(rep_ids)
+        counters.global_loads += 2 * len(ids) + 2 * 9 * len(ids) + 3 * len(rep_ids)
+        counters.atomics += len(ids)
+        counters.divergent_threads += config.total_threads - len(ids)
+        if counter is not None:
+            counter.data[0] += hits
+        return hits
+
+    @staticmethod
+    def launch_config(n_sample: int, *, block_dim: int = 256) -> LaunchConfig:
+        return LaunchConfig.for_elements(max(1, n_sample), block_dim)

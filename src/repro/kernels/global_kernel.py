@@ -1,0 +1,189 @@
+"""GPUCalcGlobal — Algorithm 2 of the paper.
+
+One thread computes the ε-neighborhood of one point: it derives the ≤9
+candidate cells from the grid index, scans their lookup-array ranges, and
+appends each ``(key=point, value=neighbor)`` hit to the device result set
+with an atomic reservation.
+
+The batching extension (Section VI) maps thread ``gid`` of batch ``l`` to
+point ``gid * n_b + l``; because the index stores points in spatial
+(unit-bin sorted) order, this strided assignment samples the dataset
+uniformly in space, keeping per-batch result sizes nearly equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._nputil import expand_ranges
+from repro.gpusim.costmodel import KernelCounters
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel, LaunchConfig
+from repro.gpusim.memory import ResultBuffer
+from repro.index.grid import GridIndex
+
+__all__ = ["GPUCalcGlobal", "batch_point_ids"]
+
+
+def batch_point_ids(
+    n_points: int, batch: int, n_batches: int, order: str = "strided"
+) -> np.ndarray:
+    """Point ids processed by batch ``batch`` of ``n_batches`` (Figure 2).
+
+    With the paper's ``strided`` order, thread ``gid`` handles point
+    ``gid * n_batches + batch``, so adjacent (spatially sorted) points
+    land in different batches and every batch samples the dataset
+    uniformly in space.  The ``contiguous`` order (each batch takes a
+    consecutive slab) exists for the ablation bench — it concentrates
+    dense regions into single batches and destroys the per-batch result
+    size uniformity the scheme relies on.
+    """
+    if not 0 <= batch < n_batches:
+        raise ValueError(f"batch {batch} out of range for n_batches={n_batches}")
+    if order == "strided":
+        return np.arange(batch, n_points, n_batches, dtype=np.int64)
+    if order == "contiguous":
+        chunk = (n_points + n_batches - 1) // n_batches
+        return np.arange(
+            batch * chunk, min(n_points, (batch + 1) * chunk), dtype=np.int64
+        )
+    raise ValueError(f"unknown batch order {order!r}")
+
+
+class GPUCalcGlobal(Kernel):
+    """Algorithm 2: per-point ε-neighborhood via global memory."""
+
+    name = "GPUCalcGlobal"
+
+    # ------------------------------------------------------------------
+    # interpreter device code (barrier-free → plain function)
+    # ------------------------------------------------------------------
+    def device_code(
+        self,
+        ctx: KernelContext,
+        *,
+        D: np.ndarray,
+        A: np.ndarray,
+        G_min: np.ndarray,
+        G_max: np.ndarray,
+        eps: float,
+        xmin: float,
+        ymin: float,
+        nx: int,
+        ny: int,
+        result: ResultBuffer,
+        batch: int = 0,
+        n_batches: int = 1,
+        emit_distance: bool = False,
+    ) -> None:
+        gid = ctx.global_id
+        pid = gid * n_batches + batch
+        n_points = len(D)
+        if pid >= n_points:
+            ctx.count_divergent()
+            return
+        px, py = D[pid]
+        ctx.count_global_load(2)
+        eps2 = eps * eps
+        cx = min(int((px - xmin) / eps), nx - 1)
+        cy = min(int((py - ymin) / eps), ny - 1)
+        for dy in (-1, 0, 1):
+            yy = cy + dy
+            if yy < 0 or yy >= ny:
+                continue
+            for dx in (-1, 0, 1):
+                xx = cx + dx
+                if xx < 0 or xx >= nx:
+                    continue
+                h = yy * nx + xx
+                lo = G_min[h]
+                ctx.count_global_load(2)  # G[h].min / .max
+                if lo < 0:
+                    continue
+                hi = G_max[h]
+                for a in range(lo, hi + 1):
+                    cand = A[a]
+                    qx, qy = D[cand]
+                    ctx.count_global_load(3)  # A[a] + 2 coords
+                    ctx.count_distance()
+                    d2 = (px - qx) ** 2 + (py - qy) ** 2
+                    if d2 <= eps2:
+                        if emit_distance:
+                            ctx.result_append(result, (pid, cand, d2**0.5))
+                        else:
+                            ctx.result_append(result, (pid, cand))
+
+    # ------------------------------------------------------------------
+    # vector backend
+    # ------------------------------------------------------------------
+    def vector_impl(
+        self,
+        config: LaunchConfig,
+        counters: KernelCounters,
+        *,
+        grid: GridIndex,
+        result: ResultBuffer,
+        batch: int = 0,
+        n_batches: int = 1,
+        batch_order: str = "strided",
+        emit_distance: bool = False,
+    ) -> int:
+        """Whole-batch NumPy evaluation; returns the number of pairs
+        appended to ``result``.
+
+        With ``emit_distance`` the result rows are ``(key, value,
+        dist)`` in a float64 buffer — the annotated-table extension
+        that enables multi-ε reuse and OPTICS.
+        """
+        pts = grid.points
+        ids = batch_point_ids(len(pts), batch, n_batches, batch_order)
+        if config.total_threads < len(ids):
+            raise ValueError(
+                f"launch too small: {config.total_threads} threads for "
+                f"{len(ids)} batch points"
+            )
+        counters.divergent_threads += config.total_threads - len(ids)
+        if len(ids) == 0:
+            return 0
+
+        nbr = grid.neighbor_cells_of_points(grid.cell_of_point[ids])  # (n, 9)
+        valid = nbr >= 0
+        safe = np.where(valid, nbr, 0)
+        starts = np.where(valid, grid.cell_min[safe], -1)
+        ends = np.where(valid, grid.cell_max[safe], -1)
+        rep_ids, flat_a = expand_ranges(
+            np.repeat(ids, nbr.shape[1]), starts.ravel(), ends.ravel()
+        )
+        cand = grid.lookup[flat_a]
+
+        diff = pts[rep_ids] - pts[cand]
+        d2 = diff[:, 0] ** 2 + diff[:, 1] ** 2
+        hit = d2 <= grid.eps * grid.eps
+        keys = rep_ids[hit]
+        values = cand[hit]
+
+        n_cand = len(rep_ids)
+        counters.distance_calcs += n_cand
+        counters.global_loads += 2 * len(ids)  # own coords
+        counters.global_loads += 2 * 9 * len(ids)  # cell range lookups
+        counters.global_loads += 3 * n_cand  # A[a] + candidate coords
+        counters.atomics += len(keys)
+        counters.global_stores += (3 if emit_distance else 2) * len(keys)
+
+        if len(keys):
+            if emit_distance:
+                result.append_block(
+                    np.column_stack([keys, values, np.sqrt(d2[hit])])
+                )
+            else:
+                result.append_block(np.column_stack([keys, values]))
+        return int(len(keys))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def launch_config(
+        n_points: int, *, n_batches: int = 1, block_dim: int = 256
+    ) -> LaunchConfig:
+        """One thread per point of the batch, whole blocks."""
+        per_batch = (n_points + n_batches - 1) // n_batches
+        return LaunchConfig.for_elements(per_batch, block_dim)

@@ -1,0 +1,156 @@
+"""Density-adaptive kernel selection — the paper's future-work direction.
+
+Section VII-C closes: *"A potentially interesting future work direction
+would be to combine the two approaches such that GPUCalcShared processes
+the dense regions of a dataset and GPUCalcGlobal processes the
+remainder."*  This kernel implements that combination:
+
+* non-empty cells are split by occupancy against a threshold (default:
+  a quarter of the block size, so a dense block's shared-memory tiles
+  are well utilized);
+* **dense** cells are processed block-per-cell with shared-memory tiling
+  (the GPUCalcShared strategy — profitable exactly where many points
+  share the same comparison tiles);
+* points in **sparse** cells are processed one-thread-per-point through
+  global memory (the GPUCalcGlobal strategy — no per-block overhead for
+  nearly-empty cells).
+
+Each point's ε-neighborhood is produced by exactly one side (points are
+partitioned by their *own* cell's density; both sides still scan all ≤9
+candidate cells), so the union equals either kernel's full result set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._nputil import expand_ranges
+from repro.gpusim.costmodel import KernelCounters
+from repro.gpusim.launch import Kernel, LaunchConfig
+from repro.gpusim.memory import ResultBuffer
+from repro.index.grid import GridIndex
+
+__all__ = ["HybridSelectKernel", "partition_cells"]
+
+
+def partition_cells(
+    grid: GridIndex, dense_threshold: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split non-empty cells into (dense_cells, sparse_cells) by
+    occupancy ``>= dense_threshold``."""
+    if dense_threshold < 1:
+        raise ValueError("dense_threshold must be >= 1")
+    cells = grid.nonempty_cells
+    counts = grid.cell_max[cells] - grid.cell_min[cells] + 1
+    dense = counts >= dense_threshold
+    return cells[dense], cells[~dense]
+
+
+class HybridSelectKernel(Kernel):
+    """GPUCalcShared on dense cells + GPUCalcGlobal on the remainder."""
+
+    name = "HybridSelect"
+
+    def __init__(self, dense_threshold: int | None = None):
+        #: cells with at least this many points go to the shared path;
+        #: None derives block_dim // 4 at launch time
+        self.dense_threshold = dense_threshold
+
+    def shared_mem_per_block(self, block_dim: int) -> int:
+        """Worst-case footprint: the dense path's tiles (as in
+        GPUCalcShared); sparse blocks use none, but residency is set by
+        the static allocation."""
+        return 48 * block_dim + 80
+
+    # ------------------------------------------------------------------
+    def launch_config(self, grid: GridIndex, *, block_dim: int = 256) -> LaunchConfig:
+        """Blocks for the dense cells plus blocks covering sparse points."""
+        thr = self.dense_threshold or max(1, block_dim // 4)
+        dense_cells, sparse_cells = partition_cells(grid, thr)
+        n_sparse_pts = int(
+            (grid.cell_max[sparse_cells] - grid.cell_min[sparse_cells] + 1).sum()
+        )
+        sparse_blocks = (n_sparse_pts + block_dim - 1) // block_dim
+        return LaunchConfig(
+            grid_dim=max(1, len(dense_cells) + sparse_blocks),
+            block_dim=block_dim,
+        )
+
+    # ------------------------------------------------------------------
+    def vector_impl(
+        self,
+        config: LaunchConfig,
+        counters: KernelCounters,
+        *,
+        grid: GridIndex,
+        result: ResultBuffer,
+        batch: int = 0,
+        n_batches: int = 1,
+    ) -> int:
+        bs = config.block_dim
+        thr = self.dense_threshold or max(1, bs // 4)
+        dense_cells, sparse_cells = partition_cells(grid, thr)
+        pts = grid.points
+        eps2 = grid.eps * grid.eps
+        total = 0
+        out: list[np.ndarray] = []
+
+        # ---- shared-memory side: block per dense cell -----------------
+        for h in dense_cells:
+            origin_all = grid.cell_point_ids(int(h))
+            origin = (
+                origin_all[origin_all % n_batches == batch]
+                if n_batches > 1
+                else origin_all
+            )
+            nbr = grid.neighbor_cells(int(h))
+            nbr = nbr[grid.cell_min[nbr] >= 0]
+            comp = np.concatenate([grid.cell_point_ids(int(c)) for c in nbr])
+            n_o_tiles = (len(origin_all) + bs - 1) // bs
+            counters.shared_stores += 2 * (len(origin_all) + n_o_tiles * len(comp))
+            counters.global_loads += 3 * (len(origin_all) + n_o_tiles * len(comp))
+            counters.syncs += bs * (1 + 2 * n_o_tiles * max(1, len(comp) // bs))
+            if len(origin) == 0:
+                continue
+            diff = pts[origin][:, None, :] - pts[comp][None, :, :]
+            d2 = diff[:, :, 0] ** 2 + diff[:, :, 1] ** 2
+            oi, cj = np.nonzero(d2 <= eps2)
+            counters.distance_calcs += len(origin) * len(comp)
+            counters.shared_loads += 2 * len(origin) * len(comp)
+            if len(oi):
+                out.append(np.column_stack([origin[oi], comp[cj]]))
+                counters.atomics += len(oi)
+                counters.global_stores += 2 * len(oi)
+                total += len(oi)
+
+        # ---- global-memory side: thread per sparse-cell point ---------
+        if len(sparse_cells):
+            sp_ids = np.concatenate(
+                [grid.cell_point_ids(int(h)) for h in sparse_cells]
+            )
+            if n_batches > 1:
+                sp_ids = sp_ids[sp_ids % n_batches == batch]
+            if len(sp_ids):
+                nbr = grid.neighbor_cells_of_points(grid.cell_of_point[sp_ids])
+                valid = nbr >= 0
+                safe = np.where(valid, nbr, 0)
+                starts = np.where(valid, grid.cell_min[safe], -1)
+                ends = np.where(valid, grid.cell_max[safe], -1)
+                rep, flat = expand_ranges(
+                    np.repeat(sp_ids, nbr.shape[1]), starts.ravel(), ends.ravel()
+                )
+                cand = grid.lookup[flat]
+                diff = pts[rep] - pts[cand]
+                hit = diff[:, 0] ** 2 + diff[:, 1] ** 2 <= eps2
+                keys, values = rep[hit], cand[hit]
+                counters.distance_calcs += len(rep)
+                counters.global_loads += 3 * len(rep) + 20 * len(sp_ids)
+                counters.atomics += len(keys)
+                counters.global_stores += 2 * len(keys)
+                if len(keys):
+                    out.append(np.column_stack([keys, values]))
+                    total += len(keys)
+
+        if out:
+            result.append_block(np.concatenate(out, axis=0))
+        return total

@@ -1,0 +1,221 @@
+"""GPUCalcShared — Algorithm 3 of the paper.
+
+One thread **block** processes one non-empty grid cell (the *origin*
+cell): the block pages the origin cell's points and each adjacent
+(*comparison*) cell's points into shared memory tile-by-tile, with a
+block barrier between the paging and the distance phase, then each thread
+compares one origin point against the whole comparison tile.
+
+The schedule ``S`` maps block id → cell id (only non-empty cells get
+blocks), so the launch has ``n_nonempty_cells × block_dim`` threads —
+the paper's much larger ``nGPU`` for this kernel.  When a cell holds more
+points than the block size, the extra tiling loop the paper describes
+(Section IV-B) kicks in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.costmodel import KernelCounters
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel, LaunchConfig
+from repro.gpusim.memory import ResultBuffer
+from repro.index.grid import GridIndex
+
+__all__ = ["GPUCalcShared"]
+
+
+class GPUCalcShared(Kernel):
+    """Algorithm 3: block-per-cell ε-neighborhoods via shared memory."""
+
+    name = "GPUCalcShared"
+
+    def shared_mem_per_block(self, block_dim: int) -> int:
+        """Origin + comparison point tiles (xy f64) and their id arrays,
+        plus the 9-entry neighbor-cell list — lowers SM occupancy."""
+        return 48 * block_dim + 80
+
+    # ------------------------------------------------------------------
+    # interpreter device code (has barriers → generator function)
+    # ------------------------------------------------------------------
+    def device_code(
+        self,
+        ctx: KernelContext,
+        *,
+        D: np.ndarray,
+        A: np.ndarray,
+        G_min: np.ndarray,
+        G_max: np.ndarray,
+        eps: float,
+        nx: int,
+        ny: int,
+        S: np.ndarray,
+        result: ResultBuffer,
+        batch: int = 0,
+        n_batches: int = 1,
+    ):
+        if ctx.block_idx >= len(S):
+            return
+        cell_to_proc = int(S[ctx.block_idx])
+        bs = ctx.block_dim
+        tid = ctx.thread_idx
+        eps2 = eps * eps
+
+        cell_ids = ctx.shared("cellIDsArr", (9,), np.int64)
+        n_cells = ctx.shared("nCells", (1,), np.int64)
+        pnts_origin = ctx.shared("pntsOriginCell", (bs, 2), np.float64)
+        origin_pid = ctx.shared("originPid", (bs,), np.int64)
+        pnts_comp = ctx.shared("pntsCompCell", (bs, 2), np.float64)
+        comp_pid = ctx.shared("compPid", (bs,), np.int64)
+
+        if tid == 0:
+            cx, cy = cell_to_proc % nx, cell_to_proc // nx
+            k = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    xx, yy = cx + dx, cy + dy
+                    if 0 <= xx < nx and 0 <= yy < ny:
+                        h = yy * nx + xx
+                        if G_min[h] >= 0:
+                            cell_ids[k] = h
+                            k += 1
+            n_cells[0] = k
+        yield ctx.syncthreads()
+
+        o_lo, o_hi = G_min[cell_to_proc], G_max[cell_to_proc]
+        n_origin = o_hi - o_lo + 1
+        # outer tiling loop over the origin cell (paper: "an additional
+        # loop is needed" when a cell exceeds the block size)
+        for o_tile in range(0, int(n_origin), bs):
+            my_o = o_tile + tid
+            has_origin = my_o < n_origin
+            if has_origin:
+                data_id = A[o_lo + my_o]
+                # batching: only origin points of this batch emit results
+                if data_id % n_batches != batch:
+                    has_origin = False
+                else:
+                    pnts_origin[tid] = D[data_id]
+                    origin_pid[tid] = data_id
+                    ctx.count_global_load(3)
+                    ctx.count_shared_store(2)
+            if not has_origin:
+                origin_pid[tid] = -1
+            for ci in range(int(n_cells[0])):
+                cell_id = int(cell_ids[ci])
+                c_lo, c_hi = G_min[cell_id], G_max[cell_id]
+                n_comp = c_hi - c_lo + 1
+                for c_tile in range(0, int(n_comp), bs):
+                    my_c = c_tile + tid
+                    if my_c < n_comp:
+                        comp_data_id = A[c_lo + my_c]
+                        pnts_comp[tid] = D[comp_data_id]
+                        comp_pid[tid] = comp_data_id
+                        ctx.count_global_load(3)
+                        ctx.count_shared_store(2)
+                    else:
+                        comp_pid[tid] = -1
+                    yield ctx.syncthreads()
+                    if origin_pid[tid] >= 0:
+                        px, py = pnts_origin[tid]
+                        tile_n = min(bs, int(n_comp) - c_tile)
+                        for j in range(tile_n):
+                            qx, qy = pnts_comp[j]
+                            ctx.count_shared_load(2)
+                            ctx.count_distance()
+                            d2 = (px - qx) ** 2 + (py - qy) ** 2
+                            if d2 <= eps2:
+                                ctx.result_append(
+                                    result, (origin_pid[tid], comp_pid[j])
+                                )
+                    yield ctx.syncthreads()
+
+    # ------------------------------------------------------------------
+    # vector backend
+    # ------------------------------------------------------------------
+    def vector_impl(
+        self,
+        config: LaunchConfig,
+        counters: KernelCounters,
+        *,
+        grid: GridIndex,
+        result: ResultBuffer,
+        batch: int = 0,
+        n_batches: int = 1,
+        batch_order: str = "strided",
+    ) -> int:
+        """Block-per-cell evaluation; returns pairs appended.
+
+        The Python loop runs once per non-empty cell — exactly the
+        block-level work decomposition of the kernel — with each block's
+        distance phase vectorized.
+        """
+        bs = config.block_dim
+        cells = grid.nonempty_cells
+        if config.grid_dim < len(cells):
+            raise ValueError(
+                f"launch too small: {config.grid_dim} blocks for "
+                f"{len(cells)} non-empty cells"
+            )
+        eps2 = grid.eps * grid.eps
+        pts = grid.points
+        total_hits = 0
+        out_blocks: list[np.ndarray] = []
+
+        for h in cells:
+            origin_all = grid.cell_point_ids(int(h))
+            if n_batches > 1:
+                if batch_order == "strided":
+                    origin = origin_all[origin_all % n_batches == batch]
+                else:
+                    chunk = (len(grid.points) + n_batches - 1) // n_batches
+                    lo, hi = batch * chunk, (batch + 1) * chunk
+                    origin = origin_all[(origin_all >= lo) & (origin_all < hi)]
+            else:
+                origin = origin_all
+            nbr_cells = grid.neighbor_cells(int(h))
+            nbr_cells = nbr_cells[grid.cell_min[nbr_cells] >= 0]
+            comp = np.concatenate([grid.cell_point_ids(int(c)) for c in nbr_cells])
+
+            n_o_tiles = (len(origin_all) + bs - 1) // bs
+            # paging cost: every origin tile re-pages every comparison tile
+            comp_tiles = int(
+                sum((grid.cell_max[c] - grid.cell_min[c] + 1 + bs - 1) // bs
+                    for c in nbr_cells)
+            )
+            counters.shared_stores += 2 * (len(origin_all) + n_o_tiles * len(comp))
+            counters.global_loads += 3 * (len(origin_all) + n_o_tiles * len(comp))
+            # barriers are crossed by every thread of the block
+            counters.syncs += bs * (1 + 2 * n_o_tiles * comp_tiles)
+
+            if len(origin) == 0:
+                continue
+            diff = pts[origin][:, None, :] - pts[comp][None, :, :]
+            d2 = diff[:, :, 0] ** 2 + diff[:, :, 1] ** 2
+            oi, cj = np.nonzero(d2 <= eps2)
+            counters.distance_calcs += len(origin) * len(comp)
+            counters.shared_loads += 2 * len(origin) * len(comp)
+            n_hits = len(oi)
+            if n_hits:
+                out_blocks.append(np.column_stack([origin[oi], comp[cj]]))
+                counters.atomics += n_hits
+                counters.global_stores += 2 * n_hits
+                total_hits += n_hits
+
+        if out_blocks:
+            result.append_block(np.concatenate(out_blocks, axis=0))
+        return total_hits
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def launch_config(grid: GridIndex, *, block_dim: int = 256) -> LaunchConfig:
+        """One block per non-empty cell (the schedule ``S``)."""
+        return LaunchConfig(
+            grid_dim=max(1, len(grid.nonempty_cells)), block_dim=block_dim
+        )
+
+    @staticmethod
+    def schedule(grid: GridIndex) -> np.ndarray:
+        """The schedule ``S``: block id → non-empty cell id."""
+        return grid.nonempty_cells.copy()

@@ -1,0 +1,13 @@
+"""Performance modeling of HYBRID-DBSCAN (the paper's future work).
+
+The paper closes with two future-work directions; this package covers
+the second: *"modeling the performance of HYBRID-DBSCAN to predict how
+future increases in host-GPU bandwidth influence performance"* (e.g.,
+NVLink).  :mod:`repro.model.bandwidth` fits an analytic response-time
+model to a profiled run and extrapolates it across host-GPU link
+speeds.
+"""
+
+from repro.model.bandwidth import BandwidthModel, PhaseProfile, profile_run
+
+__all__ = ["BandwidthModel", "PhaseProfile", "profile_run"]

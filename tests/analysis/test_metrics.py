@@ -1,0 +1,160 @@
+"""Tests for clustering comparison metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    adjusted_rand_index,
+    cluster_sizes,
+    dbscan_equivalent,
+    noise_fraction,
+    same_clustering,
+)
+from repro.core import NeighborTable
+
+labels_strategy = st.lists(
+    st.integers(min_value=-1, max_value=4), min_size=1, max_size=50
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestSameClustering:
+    def test_identical(self):
+        a = np.array([0, 0, 1, -1])
+        assert same_clustering(a, a.copy())
+
+    def test_permuted_labels(self):
+        a = np.array([0, 0, 1, -1])
+        b = np.array([5, 5, 2, -1])
+        assert same_clustering(a, b)
+
+    def test_different_noise(self):
+        assert not same_clustering(np.array([0, -1]), np.array([0, 0]))
+
+    def test_different_partition(self):
+        assert not same_clustering(np.array([0, 0, 1]), np.array([0, 1, 1]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            same_clustering(np.array([0]), np.array([0, 1]))
+
+    @given(labels_strategy, st.permutations(list(range(5))))
+    @settings(max_examples=50)
+    def test_property_permutation_invariant(self, labels, perm):
+        remap = np.array(perm)
+        relabeled = np.where(labels == -1, -1, remap[np.clip(labels, 0, 4)])
+        assert same_clustering(labels, relabeled)
+
+
+class TestARI:
+    def test_perfect(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_disagreement_lower(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert adjusted_rand_index(a, b) < 1.0
+
+    def test_random_near_zero(self, rng):
+        a = rng.integers(0, 5, 2000)
+        b = rng.integers(0, 5, 2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 4, 100)
+        b = rng.integers(0, 3, 100)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_empty(self):
+        assert adjusted_rand_index(np.empty(0), np.empty(0)) == 1.0
+
+
+class TestDBSCANEquivalent:
+    def _table(self):
+        """0-1-2 dense triplet, 3 is a border of it, plus noise 4."""
+        t = NeighborTable(5, eps=1.0)
+        pairs = [
+            (0, 0), (0, 1), (0, 2),
+            (1, 0), (1, 1), (1, 2), (1, 3),
+            (2, 0), (2, 1), (2, 2),
+            (3, 1), (3, 3),
+            (4, 4),
+        ]
+        arr = np.array(sorted(pairs), dtype=np.int64)
+        t.add_batch(arr[:, 0], arr[:, 1])
+        return t.finalize()
+
+    def test_identical_is_equivalent(self):
+        t = self._table()
+        a = np.array([0, 0, 0, 0, -1])
+        assert dbscan_equivalent(a, a.copy(), t, minpts=3)
+
+    def test_border_flip_between_adjacent_clusters(self):
+        """Two labelings differing only in a 2-cluster border point's
+        attachment are DBSCAN-equivalent."""
+        t = NeighborTable(9, eps=1.0)
+        # fully connected clusters {0,1,2,3} and {5,6,7,8}; point 4 sees
+        # one core from each side (3 entries < minpts=4 -> true border)
+        left = [(i, j) for i in range(4) for j in range(4)]
+        right = [(i, j) for i in range(5, 9) for j in range(5, 9)]
+        glue = [(3, 4), (5, 4), (4, 3), (4, 4), (4, 5)]
+        arr = np.array(sorted(left + right + glue), dtype=np.int64)
+        t.add_batch(arr[:, 0], arr[:, 1])
+        t.finalize()
+        a = np.array([0, 0, 0, 0, 0, 1, 1, 1, 1])  # border -> left
+        b = np.array([0, 0, 0, 0, 1, 1, 1, 1, 1])  # border -> right
+        assert not same_clustering(a, b)
+        assert dbscan_equivalent(a, b, t, minpts=4)
+
+    def test_core_mismatch_not_equivalent(self):
+        t = self._table()
+        a = np.array([0, 0, 0, 0, -1])
+        b = np.array([0, 0, 1, 1, -1])  # splits the core triplet
+        assert not dbscan_equivalent(a, b, t, minpts=3)
+
+    def test_noise_mismatch_not_equivalent(self):
+        t = self._table()
+        a = np.array([0, 0, 0, 0, -1])
+        b = np.array([0, 0, 0, 0, 0])
+        assert not dbscan_equivalent(a, b, t, minpts=3)
+
+    def test_border_attached_to_far_cluster_rejected(self):
+        """A border labeled with a cluster none of its neighbors belong
+        to is not a valid DBSCAN output."""
+        t = NeighborTable(7, eps=1.0)
+        pairs = [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+            (2, 0), (2, 1), (2, 2), (2, 3),
+            (3, 2), (3, 3),
+            (4, 4), (4, 5), (4, 6), (5, 4), (5, 5), (5, 6),
+            (6, 4), (6, 5), (6, 6),
+        ]
+        arr = np.array(sorted(pairs), dtype=np.int64)
+        t.add_batch(arr[:, 0], arr[:, 1])
+        t.finalize()
+        good = np.array([0, 0, 0, 0, 1, 1, 1])
+        bad = np.array([0, 0, 0, 1, 1, 1, 1])  # 3 claimed by far cluster
+        assert dbscan_equivalent(good, good, t, minpts=3)
+        assert not dbscan_equivalent(good, bad, t, minpts=3)
+
+
+class TestSmallMetrics:
+    def test_cluster_sizes(self):
+        labels = np.array([0, 0, 1, -1, 1, 1])
+        assert cluster_sizes(labels).tolist() == [3, 2]
+
+    def test_cluster_sizes_empty(self):
+        assert len(cluster_sizes(np.array([-1, -1]))) == 0
+
+    def test_noise_fraction(self):
+        assert noise_fraction(np.array([0, -1, -1, 1])) == 0.5
+        assert noise_fraction(np.empty(0)) == 0.0

@@ -1,0 +1,33 @@
+"""Tests for the hybrid-vs-reference validation harness."""
+
+import numpy as np
+
+from repro.analysis import validate_hybrid
+from repro.core import HybridDBSCAN
+
+
+class TestValidateHybrid:
+    def test_report_fields(self, blobs_points):
+        rep = validate_hybrid(blobs_points, 0.5, 5)
+        assert rep.ok
+        assert rep.exact_match  # usually exact on well-separated data
+        assert rep.ari == 1.0
+        assert rep.hybrid_clusters == rep.reference_clusters == 2
+        assert rep.hybrid_noise == rep.reference_noise
+        assert "OK" in str(rep)
+
+    def test_custom_hybrid(self, blobs_points):
+        rep = validate_hybrid(
+            blobs_points, 0.5, 5, hybrid=HybridDBSCAN(kernel="shared")
+        )
+        assert rep.ok
+
+    def test_rtree_reference(self, blobs_points):
+        rep = validate_hybrid(blobs_points, 0.5, 5, reference_index="rtree")
+        assert rep.ok
+
+    def test_degenerate_all_noise(self, rng):
+        pts = rng.random((30, 2)) * 50
+        rep = validate_hybrid(pts, 0.2, 4)
+        assert rep.ok
+        assert rep.hybrid_clusters == 0

@@ -1,0 +1,80 @@
+"""Tests for the G-DBSCAN-style baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import same_clustering
+from repro.baseline import gdbscan, sequential_dbscan
+from repro.baseline.gdbscan import bfs_clusters
+from repro.core import NOISE
+from repro.core.batching import build_neighbor_table
+from repro.gpusim import Device
+from repro.index import GridIndex
+
+
+class TestGDBSCAN:
+    def test_matches_reference(self, blobs_points):
+        ref, _ = sequential_dbscan(blobs_points, 0.5, 5, index_kind="brute")
+        got = gdbscan(blobs_points, 0.5, 5)
+        assert same_clustering(got, ref)
+
+    def test_chain(self, chain_points):
+        labels = gdbscan(chain_points, 0.5, 3)
+        assert (labels == 0).all()
+
+    def test_matches_hybrid(self, uniform_points):
+        """BFS attaches 2-cluster border points by seed order while the
+        components path uses the lowest-id core neighbor, so compare
+        with the border-aware DBSCAN equivalence."""
+        from repro.analysis.metrics import dbscan_equivalent
+        from repro.core import HybridDBSCAN
+
+        h = HybridDBSCAN()
+        grid, table, _ = h.build_table(uniform_points, 0.3)
+        hyb = h.fit(uniform_points, 0.3, 4)
+        got = gdbscan(uniform_points, 0.3, 4)
+        assert same_clustering(got, hyb.labels) or dbscan_equivalent(
+            got[grid.sort_order], hyb.labels[grid.sort_order], table, 4
+        )
+
+    def test_minpts_extremes(self, blobs_points):
+        assert (gdbscan(blobs_points, 0.5, 1) != NOISE).all()
+        assert (gdbscan(blobs_points, 0.5, 10**6) == NOISE).all()
+
+    def test_single_device_pass(self, blobs_points):
+        """G-DBSCAN materializes the whole graph in one batch — the
+        memory profile the paper's batching scheme avoids."""
+        dev = Device()
+        gdbscan(blobs_points, 0.5, 5, device=dev)
+        names = [k.name for k in dev.profiler.kernels if k.name == "GPUCalcGlobal"]
+        assert len(names) == 1
+
+
+class TestBFS:
+    def _grid_table(self, pts, eps):
+        grid = GridIndex.build(pts, eps)
+        table, _ = build_neighbor_table(grid, Device())
+        return grid, table
+
+    def test_bfs_levels_cover_cluster(self, chain_points):
+        _, table = self._grid_table(chain_points, 0.5)
+        labels = bfs_clusters(table, 3)
+        assert (labels == 0).all()
+
+    def test_border_points_terminate_waves(self):
+        # a dense core with one outlying border point that must not
+        # expand the BFS further: border sees only one core point plus
+        # `beyond`, staying below minpts
+        core = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [0.1, 0.1]])
+        border = np.array([[0.5, -0.05]])
+        beyond = np.array([[0.9, -0.05]])  # reachable only through border
+        pts = np.vstack([core, border, beyond])
+        grid, table = self._grid_table(pts, 0.42)
+        from repro.core.table_dbscan import core_mask
+
+        assert core_mask(table, 4).sum() == 4
+        labels_sorted = bfs_clusters(table, 4)
+        labels = np.empty_like(labels_sorted)
+        labels[grid.sort_order] = labels_sorted  # back to original order
+        assert labels[4] == labels[0]   # border joins
+        assert labels[5] == NOISE       # not density-reachable

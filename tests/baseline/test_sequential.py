@@ -1,0 +1,89 @@
+"""Tests for the sequential reference implementation (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import same_clustering
+from repro.baseline import IndexedPoints, sequential_dbscan
+from repro.core import NOISE
+
+
+class TestCorrectness:
+    def test_two_blobs(self, blobs_points):
+        labels, _ = sequential_dbscan(blobs_points, 0.5, 5)
+        assert labels.max() == 1
+        assert (labels == NOISE).sum() > 0
+
+    def test_index_kinds_agree(self, blobs_points):
+        ref, _ = sequential_dbscan(blobs_points, 0.5, 5, index_kind="brute")
+        for kind in ("rtree", "grid"):
+            got, _ = sequential_dbscan(blobs_points, 0.5, 5, index_kind=kind)
+            assert same_clustering(got, ref), kind
+
+    def test_chain(self, chain_points):
+        labels, _ = sequential_dbscan(chain_points, 0.5, 3)
+        assert (labels == 0).all()
+
+    def test_all_noise(self, rng):
+        pts = rng.random((40, 2)) * 100
+        labels, _ = sequential_dbscan(pts, 0.1, 4)
+        assert (labels == NOISE).all()
+
+    def test_border_assignment(self):
+        core = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [0.1, 0.1]])
+        border = np.array([[0.5, 0.0]])
+        pts = np.vstack([core, border])
+        labels, _ = sequential_dbscan(pts, 0.45, 4)
+        assert labels[4] == labels[0]
+
+    def test_validation(self, uniform_points):
+        with pytest.raises(ValueError):
+            sequential_dbscan(uniform_points, -1.0, 4)
+        with pytest.raises(ValueError):
+            sequential_dbscan(uniform_points, 0.5, 0)
+
+
+class TestInstrumentation:
+    def test_stats_fields(self, blobs_points):
+        _, stats = sequential_dbscan(blobs_points, 0.5, 5)
+        assert stats.total_s > 0
+        assert stats.index_search_s > 0
+        assert stats.index_search_s <= stats.total_s
+        assert 0 < stats.frac_index_time < 1
+        assert stats.n_queries >= len(blobs_points)
+
+    def test_table1_regime(self, blobs_points):
+        """Table I: index search is a *large* fraction of total time
+        (48%–72% in the paper) — the motivation for GPU offload."""
+        _, stats = sequential_dbscan(blobs_points, 0.5, 5, index_kind="rtree")
+        assert stats.frac_index_time > 0.30
+
+    def test_index_reuse_across_runs(self, blobs_points):
+        idx = IndexedPoints(blobs_points, "rtree")
+        l1, s1 = sequential_dbscan(blobs_points, 0.5, 5, index=idx)
+        l2, s2 = sequential_dbscan(blobs_points, 0.3, 5, index=idx)
+        assert s1.index_build_s == s2.index_build_s
+        assert not np.array_equal(l1, l2)  # different eps, different result
+
+    def test_query_count_bounds(self, uniform_points):
+        """Every point is visited; core points queried at most twice."""
+        _, stats = sequential_dbscan(uniform_points, 0.3, 4)
+        assert len(uniform_points) <= stats.n_queries <= 2 * len(uniform_points)
+
+
+class TestIndexedPoints:
+    def test_grid_requires_eps(self, uniform_points):
+        with pytest.raises(ValueError):
+            IndexedPoints(uniform_points, "grid")
+
+    def test_unknown_kind(self, uniform_points):
+        with pytest.raises(ValueError):
+            IndexedPoints(uniform_points, "kdtree")
+
+    def test_grid_adapter_returns_original_ids(self, uniform_points):
+        idx = IndexedPoints(uniform_points, "grid", eps_for_grid=0.3)
+        brute = IndexedPoints(uniform_points, "brute")
+        for pid in (0, 17, 100):
+            assert sorted(idx.range_query(pid, 0.3).tolist()) == sorted(
+                brute.range_query(pid, 0.3).tolist()
+            )

@@ -1,0 +1,88 @@
+"""Tests for the benchmark harness utilities."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    Series,
+    SeriesSet,
+    environment_info,
+    format_table,
+    run_trials,
+    save_json,
+)
+
+
+class TestRunTrials:
+    def test_mean_min_max(self):
+        t = run_trials(lambda: 42, n_trials=3)
+        assert t.n_trials == 3
+        assert t.min_s <= t.mean_s <= t.max_s
+        assert t.value == 42
+
+    def test_warmup_not_counted(self):
+        calls = []
+        run_trials(lambda: calls.append(1), n_trials=2, warmup=3)
+        assert len(calls) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda: None, n_trials=0)
+
+    def test_ms_property(self):
+        t = run_trials(lambda: None, n_trials=1)
+        assert t.mean_ms == pytest.approx(t.mean_s * 1e3)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], [300, 0.001]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out
+
+    def test_float_formats(self):
+        out = format_table(["v"], [[1e-9], [12345.6]])
+        assert "e" in out  # scientific for extremes
+
+
+class TestSeries:
+    def test_series_add(self):
+        s = Series("ref")
+        s.add(0.1, 5.0)
+        assert s.to_dict() == {"label": "ref", "x": [0.1], "y": [5.0]}
+
+    def test_seriesset_format(self):
+        ss = SeriesSet("fig3-sw1", "eps", "time_s")
+        a = ss.new_series("ref")
+        b = ss.new_series("hybrid")
+        a.add(0.1, 5.0)
+        a.add(0.2, 9.0)
+        b.add(0.1, 1.0)
+        out = ss.format()
+        assert "fig3-sw1" in out
+        assert "hybrid" in out
+        assert out.count("\n") >= 3
+
+    def test_save_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        ss = SeriesSet("x", "eps", "s")
+        path = save_json("unit-test", ss.to_dict())
+        assert path.exists()
+        assert json.loads(path.read_text())["name"] == "x"
+
+
+class TestEnvironment:
+    def test_fields(self):
+        info = environment_info()
+        assert "python" in info
+        assert "cpu_count" in info

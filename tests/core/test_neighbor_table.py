@@ -1,0 +1,168 @@
+"""Tests for the neighbor table T (Sections III and V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NeighborTable
+
+
+def table_from_pairs(n, pairs):
+    """Build a table from a full (key, value) list in one batch."""
+    t = NeighborTable(n, eps=1.0)
+    if pairs:
+        arr = np.array(sorted(pairs), dtype=np.int64)
+        t.add_batch(arr[:, 0], arr[:, 1])
+    return t.finalize()
+
+
+class TestConstruction:
+    def test_single_batch(self):
+        t = table_from_pairs(3, [(0, 0), (0, 1), (1, 1), (2, 2)])
+        assert t.neighbors(0).tolist() == [0, 1]
+        assert t.neighbors(1).tolist() == [1]
+        assert t.neighbors(2).tolist() == [2]
+        t.validate()
+
+    def test_multi_batch_interleaved(self):
+        t = NeighborTable(4, eps=1.0)
+        # batch for even keys, then odd keys (strided style)
+        t.add_batch(np.array([0, 0, 2]), np.array([0, 1, 2]))
+        t.add_batch(np.array([1, 3, 3]), np.array([1, 2, 3]))
+        t.finalize()
+        assert t.neighbors(0).tolist() == [0, 1]
+        assert t.neighbors(1).tolist() == [1]
+        assert t.neighbors(2).tolist() == [2]
+        assert t.neighbors(3).tolist() == [2, 3]
+        t.validate()
+
+    def test_point_with_no_pairs(self):
+        t = table_from_pairs(3, [(0, 0)])
+        assert t.neighbors(1).tolist() == []
+        assert t.neighbor_counts().tolist() == [1, 0, 0]
+
+    def test_empty_batch_ignored(self):
+        t = NeighborTable(2, eps=1.0)
+        t.add_batch(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert t.total_pairs == 0
+
+    def test_key_in_two_batches_rejected(self):
+        t = NeighborTable(3, eps=1.0)
+        t.add_batch(np.array([0]), np.array([0]))
+        with pytest.raises(ValueError, match="two batches"):
+            t.add_batch(np.array([0]), np.array([1]))
+
+    def test_key_out_of_range(self):
+        t = NeighborTable(3, eps=1.0)
+        with pytest.raises(ValueError):
+            t.add_batch(np.array([5]), np.array([0]))
+
+    def test_length_mismatch(self):
+        t = NeighborTable(3, eps=1.0)
+        with pytest.raises(ValueError):
+            t.add_batch(np.array([0, 1]), np.array([0]))
+
+    def test_add_after_finalize_rejected(self):
+        t = table_from_pairs(2, [(0, 0)])
+        with pytest.raises(RuntimeError):
+            t.add_batch(np.array([1]), np.array([1]))
+
+    def test_finalize_idempotent(self):
+        t = table_from_pairs(2, [(0, 0), (1, 1)])
+        v1 = t.values
+        t.finalize()
+        assert t.values is v1
+
+    def test_invalid_n_points(self):
+        with pytest.raises(ValueError):
+            NeighborTable(0, eps=1.0)
+
+
+class TestQueries:
+    def test_neighbor_counts_vectorized(self):
+        t = table_from_pairs(3, [(0, 0), (0, 1), (0, 2), (2, 2)])
+        assert t.neighbor_counts().tolist() == [3, 0, 1]
+
+    def test_edges_roundtrip(self):
+        pairs = [(0, 0), (0, 2), (1, 1), (2, 0), (2, 2)]
+        t = table_from_pairs(3, pairs)
+        src, dst = t.edges()
+        assert sorted(zip(src.tolist(), dst.tolist())) == sorted(pairs)
+
+    def test_edges_for_subset(self):
+        pairs = [(0, 0), (0, 2), (1, 1), (2, 0)]
+        t = table_from_pairs(3, pairs)
+        src, dst = t.edges_for(np.array([0, 2]))
+        assert sorted(zip(src.tolist(), dst.tolist())) == [(0, 0), (0, 2), (2, 0)]
+
+    def test_total_pairs(self):
+        t = table_from_pairs(3, [(0, 0), (1, 1), (1, 2)])
+        assert t.total_pairs == 3
+
+
+class TestValidation:
+    def test_validate_catches_gap(self):
+        t = table_from_pairs(3, [(0, 0), (1, 1)])
+        t.t_min[1] += 0  # intact
+        t.validate()
+        t.t_max[0] = t.t_min[0] - 0  # shrink range -> gap
+        t.t_max[0] -= 1
+        with pytest.raises(AssertionError):
+            t.validate()
+
+    def test_validate_catches_bad_value(self):
+        t = table_from_pairs(2, [(0, 0), (1, 1)])
+        t.values[0] = 99
+        with pytest.raises(AssertionError):
+            t.validate()
+
+    @given(
+        st.integers(min_value=1, max_value=12).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(
+                        st.integers(0, n - 1), st.integers(0, n - 1)
+                    ),
+                    max_size=60,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_roundtrip(self, spec):
+        """Any key/value multiset survives the table round trip."""
+        n, pairs = spec
+        t = table_from_pairs(n, pairs)
+        t.validate()
+        rebuilt = []
+        for i in range(n):
+            rebuilt.extend((i, int(v)) for v in t.neighbors(i))
+        assert sorted(rebuilt) == sorted(pairs)
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=40)
+    def test_property_batched_equals_single(self, n, nb):
+        """Strided multi-batch ingestion builds the same table."""
+        rng = np.random.default_rng(n * 31 + nb)
+        pairs = [
+            (int(k), int(rng.integers(0, n)))
+            for k in rng.integers(0, n, 40)
+        ]
+        whole = table_from_pairs(n, pairs)
+        t = NeighborTable(n, eps=1.0)
+        for l in range(nb):
+            batch = sorted(p for p in pairs if p[0] % nb == l)
+            if batch:
+                arr = np.array(batch, dtype=np.int64)
+                t.add_batch(arr[:, 0], arr[:, 1])
+        t.finalize()
+        t.validate()
+        for i in range(n):
+            assert sorted(t.neighbors(i).tolist()) == sorted(
+                whole.neighbors(i).tolist()
+            )

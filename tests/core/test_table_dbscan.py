@@ -1,0 +1,176 @@
+"""Tests for DBSCAN over the neighbor table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import dbscan_equivalent, same_clustering
+from repro.core import NOISE, NeighborTable
+from repro.core.batching import build_neighbor_table
+from repro.core.table_dbscan import (
+    canonicalize_labels,
+    core_mask,
+    dbscan_from_table,
+    dbscan_from_table_components,
+    dbscan_from_table_expand,
+)
+from repro.gpusim import Device
+from repro.index import GridIndex
+
+
+def build_table(points, eps):
+    grid = GridIndex.build(points, eps)
+    table, _ = build_neighbor_table(grid, Device())
+    return grid, table
+
+
+class TestCoreMask:
+    def test_counts_include_self(self, chain_points):
+        _, table = build_table(chain_points, 0.5)
+        # interior chain points see self + 2 neighbors
+        assert core_mask(table, 3).sum() == len(chain_points) - 2
+
+    def test_minpts_one_everything_core(self, uniform_points):
+        _, table = build_table(uniform_points, 0.2)
+        assert core_mask(table, 1).all()
+
+    def test_huge_minpts_nothing_core(self, uniform_points):
+        _, table = build_table(uniform_points, 0.2)
+        assert not core_mask(table, 10**6).any()
+
+    def test_invalid_minpts(self, uniform_points):
+        _, table = build_table(uniform_points, 0.2)
+        with pytest.raises(ValueError):
+            core_mask(table, 0)
+
+
+class TestKnownFixtures:
+    def test_chain_is_one_cluster(self, chain_points):
+        """Density reachability chains across the whole line."""
+        _, table = build_table(chain_points, 0.5)
+        for impl in ("expand", "components"):
+            labels = dbscan_from_table(table, 3, impl=impl)
+            assert labels.max() == 0
+            assert (labels == 0).all()
+
+    def test_chain_splits_with_gap(self):
+        x = np.concatenate([np.arange(10) * 0.4, 10 + np.arange(10) * 0.4])
+        pts = np.column_stack([x, np.zeros_like(x)])
+        _, table = build_table(pts, 0.5)
+        labels = dbscan_from_table(table, 3)
+        assert labels.max() == 1  # two clusters
+
+    def test_two_blobs_and_noise(self, blobs_points):
+        grid, table = build_table(blobs_points, 0.5)
+        labels = dbscan_from_table(table, 5)
+        assert labels.max() == 1
+        assert (labels == NOISE).sum() > 0
+
+    def test_all_noise(self, rng):
+        pts = rng.random((50, 2)) * 100  # hyper-sparse
+        _, table = build_table(pts, 0.5)
+        labels = dbscan_from_table(table, 4)
+        assert (labels == NOISE).all()
+
+    def test_minpts_one_no_noise(self, uniform_points):
+        _, table = build_table(uniform_points, 0.2)
+        labels = dbscan_from_table(table, 1)
+        assert (labels != NOISE).all()
+
+    def test_border_point_attached(self):
+        """A point with < minpts neighbors adjacent to a dense core must
+        be border (clustered), not noise."""
+        core = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [0.1, 0.1]])
+        border = np.array([[0.5, 0.0]])  # within 0.5 of (0.1, 0) only
+        lonely = np.array([[5.0, 5.0]])
+        pts = np.vstack([core, border, lonely])
+        _, table = build_table(pts, 0.45)
+        for impl in ("expand", "components"):
+            labels = dbscan_from_table(table, 4, impl=impl)
+            assert labels[4] == labels[0]  # border joins the cluster
+            assert labels[5] == NOISE
+
+    def test_labels_zero_indexed_and_canonical(self, blobs_points):
+        _, table = build_table(blobs_points, 0.5)
+        labels = dbscan_from_table(table, 5)
+        used = np.unique(labels[labels != NOISE])
+        assert used.tolist() == list(range(len(used)))
+
+    def test_unknown_impl(self, uniform_points):
+        _, table = build_table(uniform_points, 0.3)
+        with pytest.raises(ValueError):
+            dbscan_from_table(table, 4, impl="quantum")
+
+
+class TestImplementationEquivalence:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([2, 3, 4, 6, 10]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_expand_equals_components(self, seed, minpts):
+        rng = np.random.default_rng(seed)
+        n_blobs = rng.integers(1, 5)
+        parts = [
+            rng.normal(rng.uniform(0, 10, 2), rng.uniform(0.1, 0.6), (40, 2))
+            for _ in range(n_blobs)
+        ]
+        parts.append(rng.random((30, 2)) * 10)
+        pts = np.vstack(parts)
+        _, table = build_table(pts, 0.4)
+        a = dbscan_from_table_expand(table, minpts)
+        b = dbscan_from_table_components(table, minpts)
+        assert same_clustering(a, b) or dbscan_equivalent(a, b, table, minpts)
+
+    def test_cluster_counts_always_agree(self, blobs_points):
+        _, table = build_table(blobs_points, 0.4)
+        for minpts in (2, 4, 8, 16, 64):
+            a = dbscan_from_table_expand(table, minpts)
+            b = dbscan_from_table_components(table, minpts)
+            assert a.max() == b.max()
+            assert (a == NOISE).sum() == (b == NOISE).sum()
+
+
+class TestCanonicalize:
+    def test_noise_only(self):
+        labels = np.full(5, NOISE)
+        assert canonicalize_labels(labels).tolist() == [-1] * 5
+
+    def test_renumbers_by_first_occurrence(self):
+        labels = np.array([7, 7, -1, 3, 3, 7])
+        assert canonicalize_labels(labels).tolist() == [0, 0, -1, 1, 1, 0]
+
+    def test_idempotent(self):
+        labels = np.array([2, -1, 0, 2, 1])
+        once = canonicalize_labels(labels)
+        assert np.array_equal(once, canonicalize_labels(once))
+
+    def test_empty(self):
+        assert len(canonicalize_labels(np.empty(0, dtype=np.int64))) == 0
+
+    @given(st.lists(st.integers(min_value=-1, max_value=6), max_size=40))
+    @settings(max_examples=60)
+    def test_property_preserves_partition(self, raw):
+        labels = np.array(raw, dtype=np.int64)
+        canon = canonicalize_labels(labels)
+        # same partition: equal-label pairs preserved both ways
+        for i in range(len(labels)):
+            for j in range(len(labels)):
+                same_raw = labels[i] == labels[j]
+                same_canon = canon[i] == canon[j]
+                assert same_raw == same_canon
+
+
+class TestMonotonicity:
+    def test_clusters_shrink_with_minpts(self, blobs_points):
+        """Raising minpts can only demote points (cluster membership is
+        monotone non-increasing in minpts for fixed ε)."""
+        _, table = build_table(blobs_points, 0.4)
+        prev_members = None
+        for minpts in (2, 4, 8, 16, 32):
+            labels = dbscan_from_table(table, minpts)
+            members = int((labels != NOISE).sum())
+            if prev_members is not None:
+                assert members <= prev_members
+            prev_members = members

@@ -1,0 +1,74 @@
+"""Tests for Variant / VariantSet (Section III)."""
+
+import pytest
+
+from repro.core import Variant, VariantSet
+
+
+class TestVariant:
+    def test_basic(self):
+        v = Variant(0.5, 4)
+        assert v.eps == 0.5
+        assert v.minpts == 4
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            Variant(0.0, 4)
+
+    def test_invalid_minpts(self):
+        with pytest.raises(ValueError):
+            Variant(0.5, 0)
+
+    def test_ordering(self):
+        assert Variant(0.1, 4) < Variant(0.2, 4)
+
+    def test_hashable(self):
+        assert len({Variant(0.1, 4), Variant(0.1, 4)}) == 1
+
+
+class TestVariantSet:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VariantSet(())
+
+    def test_eps_sweep(self):
+        vs = VariantSet.eps_sweep([0.1, 0.2], minpts=4)
+        assert len(vs) == 2
+        assert vs.eps_values == (0.1, 0.2)
+        assert vs.minpts_values == (4, 4)
+        assert not vs.shares_eps()
+
+    def test_minpts_sweep_shares_eps(self):
+        vs = VariantSet.minpts_sweep(0.3, [5, 10, 20])
+        assert vs.shares_eps()
+        assert vs.minpts_values == (5, 10, 20)
+
+    def test_eps_range_sw1_grid(self):
+        """Table III: SW1 sweeps {0.1, 0.2, ..., 1.5} — 15 variants."""
+        vs = VariantSet.eps_range(0.1, 1.5, 0.1)
+        assert len(vs) == 15
+        assert vs.eps_values[0] == pytest.approx(0.1)
+        assert vs.eps_values[-1] == pytest.approx(1.5)
+
+    def test_eps_range_sdss3_grid(self):
+        """Table III: SDSS3 sweeps {0.06, ..., 0.13} — 8 variants."""
+        vs = VariantSet.eps_range(0.06, 0.13, 0.01)
+        assert len(vs) == 8
+
+    def test_from_pairs(self):
+        vs = VariantSet.from_pairs([(0.1, 4), (0.2, 8)])
+        assert vs[1] == Variant(0.2, 8)
+
+    def test_iteration(self):
+        vs = VariantSet.eps_sweep([0.1, 0.2, 0.3])
+        assert [v.eps for v in vs] == [0.1, 0.2, 0.3]
+
+    def test_table_v_minpts_grid(self):
+        """Table V: SW sets use 16 minpts values ending at 3000."""
+        from repro.data.scale import DATASETS
+
+        grid = DATASETS["SW1"].s3_minpts
+        assert len(grid) == 16
+        assert grid[-1] == 3000
+        vs = VariantSet.minpts_sweep(0.3, grid)
+        assert len(vs) == 16

@@ -1,0 +1,64 @@
+"""Tests for point I/O and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_points, save_points
+from repro.data.loaders import bounding_box, normalize_extent
+
+
+class TestRoundTrip:
+    def test_npy(self, tmp_path, uniform_points):
+        p = save_points(uniform_points, tmp_path / "pts.npy")
+        assert np.array_equal(load_points(p), uniform_points)
+
+    def test_csv(self, tmp_path, uniform_points):
+        p = save_points(uniform_points, tmp_path / "pts.csv")
+        assert np.allclose(load_points(p), uniform_points)
+
+    def test_csv_extra_columns(self, tmp_path, rng):
+        raw = rng.random((20, 5))
+        np.savetxt(tmp_path / "wide.csv", raw, delimiter=",")
+        pts = load_points(tmp_path / "wide.csv")
+        assert np.allclose(pts, raw[:, :2])
+
+    def test_whitespace_dat(self, tmp_path, rng):
+        raw = rng.random((10, 2))
+        np.savetxt(tmp_path / "pts.dat", raw)
+        assert np.allclose(load_points(tmp_path / "pts.dat"), raw)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points(tmp_path / "nope.npy")
+
+    def test_bad_extension(self, tmp_path, uniform_points):
+        with pytest.raises(ValueError):
+            save_points(uniform_points, tmp_path / "pts.parquet")
+        (tmp_path / "pts.xyz").write_text("1 2")
+        with pytest.raises(ValueError):
+            load_points(tmp_path / "pts.xyz")
+
+    def test_one_column_rejected(self, tmp_path):
+        np.save(tmp_path / "one.npy", np.arange(10.0).reshape(-1, 1))
+        with pytest.raises(ValueError):
+            load_points(tmp_path / "one.npy")
+
+
+class TestGeometry:
+    def test_bounding_box(self):
+        pts = np.array([[1.0, 2.0], [3.0, -1.0]])
+        assert bounding_box(pts) == (1.0, -1.0, 3.0, 2.0)
+
+    def test_normalize_extent(self, rng):
+        pts = rng.random((100, 2)) * np.array([40.0, 10.0]) + 5
+        out = normalize_extent(pts, side=2.0)
+        assert out.min() >= 0.0
+        assert out.max() == pytest.approx(2.0)
+        # aspect preserved: y-span scaled by the same factor as x-span
+        assert out[:, 1].max() - out[:, 1].min() == pytest.approx(
+            (pts[:, 1].max() - pts[:, 1].min()) * 2.0 / 40.0, rel=0.2
+        )
+
+    def test_normalize_degenerate(self):
+        pts = np.array([[2.0, 2.0], [2.0, 2.0]])
+        assert np.all(normalize_extent(pts) == 0)

@@ -1,0 +1,90 @@
+"""The scenario registry must encode the paper's tables verbatim."""
+
+import pytest
+
+from repro.data.scale import DATASETS
+
+
+class TestTableI:
+    """Table I probes (dataset, ε) with minpts = 4."""
+
+    @pytest.mark.parametrize(
+        "name,eps",
+        [
+            ("SW1", (0.20, 1.40)),
+            ("SW4", (0.15, 0.45)),
+            ("SDSS1", (0.20, 1.40)),
+            ("SDSS2", (0.15, 0.45)),
+            ("SDSS3", (0.07, 0.12)),
+        ],
+    )
+    def test_probe_eps(self, name, eps):
+        assert DATASETS[name].t1_eps == eps
+
+
+class TestTableIII:
+    """S2 sweeps: vε grids as published (minpts fixed at 4)."""
+
+    def test_sw1_sdss1(self):
+        for name in ("SW1", "SDSS1"):
+            grid = DATASETS[name].s2_eps
+            assert grid[0] == 0.1 and grid[-1] == 1.5 and len(grid) == 15
+
+    def test_sw4_sdss2(self):
+        for name in ("SW4", "SDSS2"):
+            grid = DATASETS[name].s2_eps
+            assert grid[0] == 0.1 and grid[-1] == 0.5 and len(grid) == 9
+
+    def test_sdss3(self):
+        grid = DATASETS["SDSS3"].s2_eps
+        assert grid[0] == 0.06 and grid[-1] == 0.13 and len(grid) == 8
+
+
+class TestTableV:
+    """S3: per-dataset ε values and 16-value minpts grids."""
+
+    @pytest.mark.parametrize(
+        "name,eps",
+        [
+            ("SW1", (0.3, 0.5, 0.7)),
+            ("SW4", (0.1, 0.2, 0.3)),
+            ("SDSS1", (0.3, 0.5, 0.7)),
+            ("SDSS2", (0.2, 0.3, 0.4)),
+            ("SDSS3", (0.07, 0.11, 0.15)),
+        ],
+    )
+    def test_s3_eps(self, name, eps):
+        assert DATASETS[name].s3_eps == eps
+
+    def test_sw_minpts_grid(self):
+        expected = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100,
+                    200, 400, 800, 1000, 2000, 3000)
+        assert DATASETS["SW1"].s3_minpts == expected
+        assert DATASETS["SW4"].s3_minpts == expected
+
+    def test_sdss1_sdss3_minpts_grid(self):
+        expected = tuple(range(5, 85, 5))
+        assert DATASETS["SDSS1"].s3_minpts == expected
+        assert DATASETS["SDSS3"].s3_minpts == expected
+
+    def test_sdss2_minpts_grid(self):
+        expected = (5, 10, 20, 30, 40, 50, 60, 70, 80, 90,
+                    100, 110, 120, 130, 140, 150)
+        assert DATASETS["SDSS2"].s3_minpts == expected
+
+
+class TestPaperSizes:
+    """Published |D| per dataset."""
+
+    @pytest.mark.parametrize(
+        "name,n",
+        [
+            ("SW1", 1_864_620),
+            ("SW4", 5_159_737),
+            ("SDSS1", 2_000_000),
+            ("SDSS2", 5_000_000),
+            ("SDSS3", 15_228_633),
+        ],
+    )
+    def test_counts(self, name, n):
+        assert DATASETS[name].paper_n == n

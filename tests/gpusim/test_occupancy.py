@@ -1,0 +1,127 @@
+"""Tests for the SM occupancy calculator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import Device
+from repro.gpusim.occupancy import Occupancy, OccupancyLimits, occupancy
+
+
+class TestBounds:
+    def test_full_occupancy_baseline(self):
+        occ = occupancy(256, registers_per_thread=32)
+        assert occ.fraction == 1.0
+        assert occ.active_blocks_per_sm == 8
+
+    def test_thread_bound(self):
+        occ = occupancy(1024, registers_per_thread=16)
+        assert occ.limiter == "threads"
+        assert occ.active_blocks_per_sm == 2
+
+    def test_block_count_bound_small_blocks(self):
+        occ = occupancy(32, registers_per_thread=16)
+        assert occ.limiter == "blocks"
+        assert occ.active_blocks_per_sm == 16
+        assert occ.fraction == pytest.approx(16 / 64)
+
+    def test_register_bound(self):
+        occ = occupancy(256, registers_per_thread=128)
+        assert occ.limiter == "registers"
+        assert occ.active_blocks_per_sm == 2
+
+    def test_shared_memory_bound(self):
+        occ = occupancy(
+            256, registers_per_thread=16, shared_mem_per_block_bytes=20_000
+        )
+        assert occ.limiter == "shared_mem"
+        assert occ.active_blocks_per_sm == 2
+
+    def test_shared_memory_over_budget(self):
+        with pytest.raises(ValueError):
+            occupancy(256, shared_mem_per_block_bytes=10**6)
+
+    def test_register_starvation_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(1024, registers_per_thread=1024)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            occupancy(0)
+        with pytest.raises(ValueError):
+            occupancy(4096)
+        with pytest.raises(ValueError):
+            occupancy(32, registers_per_thread=0)
+        with pytest.raises(ValueError):
+            occupancy(32, shared_mem_per_block_bytes=-1)
+
+    @given(
+        st.integers(min_value=1, max_value=1024),
+        st.integers(min_value=8, max_value=64),
+        st.integers(min_value=0, max_value=48 * 1024),
+    )
+    @settings(max_examples=100)
+    def test_property_fraction_in_unit_interval(self, bs, regs, smem):
+        try:
+            occ = occupancy(
+                bs, registers_per_thread=regs, shared_mem_per_block_bytes=smem
+            )
+        except ValueError:
+            return
+        assert 0 < occ.fraction <= 1.0
+        assert occ.active_blocks_per_sm >= 1
+
+    @given(st.integers(min_value=1, max_value=1024))
+    @settings(max_examples=50)
+    def test_property_more_shared_never_raises_occupancy(self, bs):
+        base = occupancy(bs, shared_mem_per_block_bytes=1024)
+        heavy = occupancy(bs, shared_mem_per_block_bytes=16 * 1024)
+        assert heavy.fraction <= base.fraction + 1e-12
+
+
+class TestKernelIntegration:
+    def test_shared_kernel_pays_occupancy(self, device, uniform_points):
+        """GPUCalcShared's shared-memory tiles lower its occupancy,
+        inflating modeled time vs an occupancy-free account."""
+        import numpy as np
+
+        from repro.gpusim import launch
+        from repro.index import GridIndex
+        from repro.kernels import GPUCalcShared
+
+        grid = GridIndex.build(uniform_points, 0.4)
+        buf = device.allocate_result_buffer((512 * len(grid), 2), np.int64)
+        res = launch(
+            GPUCalcShared(),
+            GPUCalcShared.launch_config(grid),
+            device,
+            grid=grid,
+            result=buf,
+        )
+        assert res.occupancy is not None
+        assert res.occupancy.fraction < 1.0
+        assert res.occupancy.limiter == "shared_mem"
+        assert res.modeled_ms >= device.cost.kernel_time_ms(res.counters)
+
+    def test_global_kernel_full_occupancy(self, device, uniform_points):
+        import numpy as np
+
+        from repro.gpusim import launch
+        from repro.index import GridIndex
+        from repro.kernels import GPUCalcGlobal
+
+        grid = GridIndex.build(uniform_points, 0.4)
+        buf = device.allocate_result_buffer((512 * len(grid), 2), np.int64)
+        res = launch(
+            GPUCalcGlobal(),
+            GPUCalcGlobal.launch_config(len(grid)),
+            device,
+            grid=grid,
+            result=buf,
+        )
+        assert res.occupancy.fraction == 1.0
+
+    def test_limits_from_spec(self):
+        lim = OccupancyLimits.for_spec(Device().spec)
+        assert lim.shared_mem_per_sm_bytes == 48 * 1024
+        assert lim.warp_size == 32

@@ -1,0 +1,101 @@
+"""Tests for streams, events and the overlap timeline."""
+
+import pytest
+
+from repro.gpusim.streams import Stream, Timeline, concurrent_streams
+
+
+@pytest.fixture
+def timeline():
+    return Timeline()
+
+
+class TestSerialization:
+    def test_same_stream_serializes(self, timeline):
+        s = Stream(timeline)
+        op1 = s.submit("k1", "compute", 5.0)
+        op2 = s.submit("t1", "d2h", 3.0)
+        assert op2.start_ms == op1.end_ms
+
+    def test_same_engine_serializes_across_streams(self, timeline):
+        s1, s2 = Stream(timeline), Stream(timeline)
+        op1 = s1.submit("k1", "compute", 5.0)
+        op2 = s2.submit("k2", "compute", 5.0)
+        assert op2.start_ms == op1.end_ms
+
+    def test_different_engines_overlap(self, timeline):
+        s1, s2 = Stream(timeline), Stream(timeline)
+        op1 = s1.submit("k1", "compute", 5.0)
+        op2 = s2.submit("t2", "h2d", 5.0)
+        assert op2.start_ms == 0.0
+        assert timeline.makespan_ms == 5.0
+
+    def test_three_stream_pipeline_overlaps(self, timeline):
+        """Kernel/sort/transfer across 3 streams overlaps like Section VI."""
+        streams = concurrent_streams(timeline, 3)
+        for s in streams:
+            s.submit("kernel", "compute", 10.0)
+            s.submit("d2h", "d2h", 4.0)
+        # compute engine serializes the kernels (30ms); transfers hide
+        assert timeline.makespan_ms == pytest.approx(34.0)
+        assert timeline.overlap_ms() == pytest.approx(42.0 - 34.0)
+
+
+class TestTimelineMath:
+    def test_makespan_empty(self, timeline):
+        assert timeline.makespan_ms == 0.0
+
+    def test_busy_per_engine(self, timeline):
+        s = Stream(timeline)
+        s.submit("a", "compute", 2.0)
+        s.submit("b", "h2d", 3.0)
+        assert timeline.busy_ms("compute") == 2.0
+        assert timeline.busy_ms("h2d") == 3.0
+        assert timeline.serialized_ms() == 5.0
+
+    def test_negative_duration_rejected(self, timeline):
+        s = Stream(timeline)
+        with pytest.raises(ValueError):
+            s.submit("bad", "compute", -1.0)
+
+    def test_unknown_engine_rejected(self, timeline):
+        s = Stream(timeline)
+        with pytest.raises(ValueError):
+            s.submit("bad", "warp", 1.0)
+
+    def test_ops_for_stream(self, timeline):
+        s1, s2 = Stream(timeline), Stream(timeline)
+        s1.submit("a", "compute", 1.0)
+        s2.submit("b", "compute", 1.0)
+        s1.submit("c", "d2h", 1.0)
+        assert [op.name for op in timeline.ops_for_stream(s1)] == ["a", "c"]
+
+    def test_reset(self, timeline):
+        s = Stream(timeline)
+        s.submit("a", "compute", 1.0)
+        timeline.reset()
+        assert timeline.makespan_ms == 0.0
+        assert timeline.ops == []
+
+
+class TestEvents:
+    def test_record_and_wait(self, timeline):
+        s1, s2 = Stream(timeline), Stream(timeline)
+        s1.submit("k", "compute", 7.0)
+        ev = s1.record_event()
+        assert ev.timestamp_ms == 7.0
+        s2.wait_event(ev)
+        op = s2.submit("t", "h2d", 1.0)
+        assert op.start_ms >= 7.0
+
+    def test_wait_unrecorded_raises(self, timeline):
+        from repro.gpusim.streams import Event
+
+        s = Stream(timeline)
+        with pytest.raises(ValueError):
+            s.wait_event(Event())
+
+    def test_duration_property(self, timeline):
+        s = Stream(timeline)
+        op = s.submit("a", "compute", 2.5)
+        assert op.duration_ms == pytest.approx(2.5)

@@ -1,0 +1,54 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.gpusim.streams import Stream, Timeline
+from repro.gpusim.timeline_view import render_timeline
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert "(empty timeline)" in render_timeline(Timeline())
+
+    def test_lane_per_stream(self):
+        tl = Timeline()
+        s0, s1 = Stream(tl), Stream(tl)
+        s0.submit("k", "compute", 5.0)
+        s1.submit("t", "d2h", 5.0)
+        out = render_timeline(tl)
+        lanes = [l for l in out.splitlines() if l.strip().startswith("s") and "|" in l]
+        assert len(lanes) == 2
+        assert "K" in lanes[0]
+        assert "<" in lanes[1]
+
+    def test_overlap_reported(self):
+        tl = Timeline()
+        s0, s1 = Stream(tl), Stream(tl)
+        s0.submit("k", "compute", 4.0)
+        s1.submit("t", "h2d", 4.0)
+        out = render_timeline(tl)
+        assert "hidden by overlap: 4.00 ms" in out
+
+    def test_serialized_ops_span_lane(self):
+        tl = Timeline()
+        s = Stream(tl)
+        s.submit("a", "compute", 1.0)
+        s.submit("b", "d2h", 1.0)
+        out = render_timeline(tl, width=20)
+        lane = [l for l in out.splitlines() if l.strip().startswith("s") and "|" in l][0]
+        assert "K" in lane and "<" in lane
+        # compute comes before the transfer in the lane
+        assert lane.index("K") < lane.index("<")
+
+    def test_real_batched_build_timeline(self, blobs_points):
+        from repro.core import BatchConfig
+        from repro.core.batching import build_neighbor_table
+        from repro.gpusim import Device
+        from repro.index import GridIndex
+
+        device = Device()
+        grid = GridIndex.build(blobs_points, 0.4)
+        build_neighbor_table(
+            grid, device,
+            config=BatchConfig(static_threshold=1, static_buffer_size=20_000),
+        )
+        out = render_timeline(device.timeline)
+        assert "K" in out and "<" in out

@@ -1,0 +1,165 @@
+"""Tests for the R-tree (the reference implementation's index)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import BruteForceIndex, RTree
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=150,
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+class TestBulkLoad:
+    def test_invariants(self, uniform_points):
+        t = RTree(uniform_points)
+        t.check_invariants()
+
+    def test_invariants_various_fanouts(self, uniform_points):
+        for m in (4, 8, 32):
+            RTree(uniform_points, max_entries=m).check_invariants()
+
+    def test_balanced_height(self, rng):
+        pts = rng.random((1000, 2))
+        t = RTree(pts, max_entries=8)
+        s = t.stats()
+        # height ~ log_8(1000/8) + 1; definitely < 6
+        assert 2 <= s.height <= 6
+
+    def test_single_point(self):
+        t = RTree(np.array([[1.0, 2.0]]))
+        t.check_invariants()
+        assert t.range_query(0, 0.1).tolist() == [0]
+
+    def test_empty_tree_query(self):
+        t = RTree()
+        assert len(t.range_query_coords(np.array([0.0, 0.0]), 1.0)) == 0
+
+    def test_min_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    @given(points_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_property_invariants(self, pts):
+        t = RTree(pts, max_entries=5)
+        t.check_invariants()
+
+
+class TestInsert:
+    def test_incremental_invariants(self, rng):
+        t = RTree(max_entries=4)
+        pts = rng.random((120, 2)) * 10
+        for p in pts:
+            t.insert(p)
+        t.check_invariants()
+        assert len(t.points) == 120
+
+    def test_insert_returns_sequential_ids(self):
+        t = RTree(max_entries=4)
+        assert t.insert(np.array([0.0, 0.0])) == 0
+        assert t.insert(np.array([1.0, 1.0])) == 1
+
+    def test_inserted_points_queryable(self, rng):
+        t = RTree(max_entries=4)
+        pts = rng.random((60, 2))
+        for p in pts:
+            t.insert(p)
+        bf = BruteForceIndex(pts)
+        for pid in range(0, 60, 7):
+            assert sorted(t.range_query(pid, 0.3).tolist()) == sorted(
+                bf.range_query(pid, 0.3).tolist()
+            )
+
+    def test_duplicate_points(self):
+        t = RTree(max_entries=4)
+        for _ in range(20):
+            t.insert(np.array([1.0, 1.0]))
+        t.check_invariants()
+        assert len(t.range_query(0, 0.0)) == 20
+
+    @given(points_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_property_insert_invariants(self, pts):
+        t = RTree(max_entries=4)
+        for p in pts:
+            t.insert(p)
+        t.check_invariants()
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, blobs_points):
+        t = RTree(blobs_points)
+        bf = BruteForceIndex(blobs_points)
+        for eps in (0.1, 0.5, 2.0):
+            for pid in range(0, len(blobs_points), 23):
+                assert sorted(t.range_query(pid, eps).tolist()) == sorted(
+                    bf.range_query(pid, eps).tolist()
+                )
+
+    def test_includes_self(self, uniform_points):
+        t = RTree(uniform_points)
+        assert 7 in t.range_query(7, 0.2).tolist()
+
+    def test_boundary_inclusive(self):
+        t = RTree(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert len(t.range_query(0, 1.0)) == 2
+
+    def test_zero_eps(self, uniform_points):
+        t = RTree(uniform_points)
+        assert t.range_query(3, 0.0).tolist() == [3]
+
+    def test_negative_eps_rejected(self, uniform_points):
+        t = RTree(uniform_points)
+        with pytest.raises(ValueError):
+            t.range_query(0, -1.0)
+
+    def test_coords_query(self, uniform_points):
+        t = RTree(uniform_points)
+        bf = BruteForceIndex(uniform_points)
+        q = np.array([3.0, 3.0])
+        assert sorted(t.range_query_coords(q, 1.0).tolist()) == sorted(
+            bf.range_query_coords(q, 1.0).tolist()
+        )
+
+    @given(
+        points_strategy,
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_query(self, pts, eps):
+        t = RTree(pts, max_entries=5)
+        bf = BruteForceIndex(pts)
+        pid = len(pts) // 2
+        assert sorted(t.range_query(pid, eps).tolist()) == sorted(
+            bf.range_query(pid, eps).tolist()
+        )
+
+
+class TestInstrumentation:
+    def test_query_counters(self, uniform_points):
+        t = RTree(uniform_points)
+        t.range_query(0, 0.5)
+        t.range_query(1, 0.5)
+        assert t.queries == 2
+        assert t.nodes_visited >= 2
+
+    def test_reset(self, uniform_points):
+        t = RTree(uniform_points)
+        t.range_query(0, 0.5)
+        t.reset_instrumentation()
+        assert t.queries == 0
+        assert t.nodes_visited == 0
+
+    def test_stats_counts(self, uniform_points):
+        t = RTree(uniform_points, max_entries=8)
+        s = t.stats()
+        assert s.n_leaves >= len(uniform_points) // 8
+        assert s.n_nodes >= s.n_leaves

@@ -1,0 +1,84 @@
+"""Kernel-test helpers: truth sets and launch plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, launch
+from repro.index import BruteForceIndex, GridIndex
+from repro.kernels import GPUCalcGlobal, GPUCalcShared
+
+
+def truth_pairs(grid: GridIndex) -> set[tuple[int, int]]:
+    """Ground-truth (key, value) ε-pairs in the grid's sorted id space."""
+    bf = BruteForceIndex(grid.points)
+    k, v = bf.all_pairs(grid.eps)
+    return set(zip(k.tolist(), v.tolist()))
+
+
+def run_global(
+    device: Device,
+    grid: GridIndex,
+    *,
+    backend: str = "vector",
+    batch: int = 0,
+    n_batches: int = 1,
+    capacity: int | None = None,
+    block_dim: int = 256,
+    batch_order: str = "strided",
+):
+    """Launch GPUCalcGlobal; returns (pairs set, LaunchResult, buffer)."""
+    cap = capacity or max(64, 512 * len(grid))
+    result = device.allocate_result_buffer((cap, 2), np.int64, name="R")
+    cfg = GPUCalcGlobal.launch_config(
+        len(grid), n_batches=n_batches, block_dim=block_dim
+    )
+    if backend == "vector":
+        res = launch(
+            GPUCalcGlobal(), cfg, device, grid=grid, result=result,
+            batch=batch, n_batches=n_batches, batch_order=batch_order,
+        )
+    else:
+        ga = grid.device_arrays()
+        res = launch(
+            GPUCalcGlobal(), cfg, device, backend="interpreter",
+            D=ga["D"], A=ga["A"], G_min=ga["G_min"], G_max=ga["G_max"],
+            eps=grid.eps, xmin=grid.xmin, ymin=grid.ymin,
+            nx=grid.nx, ny=grid.ny, result=result,
+            batch=batch, n_batches=n_batches,
+        )
+    pairs = set(map(tuple, result.view().tolist()))
+    return pairs, res, result
+
+
+def run_shared(
+    device: Device,
+    grid: GridIndex,
+    *,
+    backend: str = "vector",
+    batch: int = 0,
+    n_batches: int = 1,
+    capacity: int | None = None,
+    block_dim: int = 256,
+):
+    """Launch GPUCalcShared; returns (pairs set, LaunchResult, buffer)."""
+    cap = capacity or max(64, 512 * len(grid))
+    result = device.allocate_result_buffer((cap, 2), np.int64, name="R")
+    cfg = GPUCalcShared.launch_config(grid, block_dim=block_dim)
+    if backend == "vector":
+        res = launch(
+            GPUCalcShared(), cfg, device, grid=grid, result=result,
+            batch=batch, n_batches=n_batches,
+        )
+    else:
+        ga = grid.device_arrays()
+        res = launch(
+            GPUCalcShared(), cfg, device, backend="interpreter",
+            D=ga["D"], A=ga["A"], G_min=ga["G_min"], G_max=ga["G_max"],
+            eps=grid.eps, nx=grid.nx, ny=grid.ny,
+            S=GPUCalcShared.schedule(grid), result=result,
+            batch=batch, n_batches=n_batches,
+        )
+    pairs = set(map(tuple, result.view().tolist()))
+    return pairs, res, result

@@ -1,0 +1,146 @@
+"""Tests for GPUCalcShared (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import Device
+from repro.index import GridIndex
+from repro.kernels import GPUCalcShared
+
+from .conftest import run_global, run_shared, truth_pairs
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=80,
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+class TestCorrectness:
+    def test_vector_matches_brute(self, device, uniform_points):
+        grid = GridIndex.build(uniform_points, 0.4)
+        pairs, _, _ = run_shared(device, grid)
+        assert pairs == truth_pairs(grid)
+
+    def test_interpreter_matches_brute(self, device, rng):
+        grid = GridIndex.build(rng.random((70, 2)) * 3, 0.4)
+        pairs, _, _ = run_shared(device, grid, backend="interpreter", block_dim=8)
+        assert pairs == truth_pairs(grid)
+
+    def test_backends_agree(self, device, rng):
+        grid = GridIndex.build(rng.random((90, 2)) * 3, 0.35)
+        pv, rv, _ = run_shared(device, grid, block_dim=8)
+        pi, ri, _ = run_shared(device, grid, backend="interpreter", block_dim=8)
+        assert pv == pi
+        assert rv.counters.distance_calcs == ri.counters.distance_calcs
+        assert rv.counters.atomics == ri.counters.atomics
+        assert rv.counters.syncs == ri.counters.syncs
+
+    def test_agrees_with_global_kernel(self, device, blobs_points):
+        grid = GridIndex.build(blobs_points, 0.5)
+        pg, _, _ = run_global(device, grid)
+        ps, _, _ = run_shared(device, grid)
+        assert pg == ps
+
+    def test_cell_larger_than_block(self, device, rng):
+        """Cells with more points than the block size exercise the extra
+        tiling loop the paper describes."""
+        # 60 points in one tight clump -> one cell holds them all
+        pts = rng.normal(0.0, 0.01, (60, 2)) + 1.0
+        grid = GridIndex.build(pts, 0.5)
+        assert grid.stats().max_points_per_cell > 8
+        pairs, _, _ = run_shared(device, grid, block_dim=8)
+        assert pairs == truth_pairs(grid)
+        pairs_i, _, _ = run_shared(
+            device, grid, backend="interpreter", block_dim=8
+        )
+        assert pairs_i == pairs
+
+    @given(points_strategy, st.floats(min_value=0.2, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute(self, pts, eps):
+        device = Device()
+        grid = GridIndex.build(pts, eps)
+        pairs, _, _ = run_shared(device, grid, block_dim=16)
+        assert pairs == truth_pairs(grid)
+
+    @given(points_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_property_backends_agree(self, pts):
+        device = Device()
+        grid = GridIndex.build(pts, 0.5)
+        pv, _, _ = run_shared(device, grid, block_dim=4)
+        pi, _, _ = run_shared(device, grid, backend="interpreter", block_dim=4)
+        assert pv == pi
+
+
+class TestBatching:
+    def test_union_of_batches(self, device, uniform_points):
+        grid = GridIndex.build(uniform_points, 0.4)
+        truth = truth_pairs(grid)
+        union = set()
+        for l in range(3):
+            p, _, _ = run_shared(device, grid, batch=l, n_batches=3)
+            union |= p
+        assert union == truth
+
+    def test_matches_global_per_batch(self, device, uniform_points):
+        grid = GridIndex.build(uniform_points, 0.4)
+        for l in range(3):
+            pg, _, _ = run_global(device, grid, batch=l, n_batches=3)
+            ps, _, _ = run_shared(device, grid, batch=l, n_batches=3)
+            assert pg == ps
+
+
+class TestScheduleAndThreads:
+    def test_schedule_is_nonempty_cells(self, uniform_points):
+        grid = GridIndex.build(uniform_points, 0.4)
+        assert np.array_equal(GPUCalcShared.schedule(grid), grid.nonempty_cells)
+
+    def test_ngpu_is_cells_times_block(self, device, uniform_points):
+        """Table II: the shared kernel launches far more threads —
+        (non-empty cells) × (block size)."""
+        grid = GridIndex.build(uniform_points, 0.4)
+        _, res, _ = run_shared(device, grid)
+        assert res.n_gpu == len(grid.nonempty_cells) * 256
+
+    def test_shared_uses_more_threads_than_global(self, device, uniform_points):
+        grid = GridIndex.build(uniform_points, 0.3)
+        _, rg, _ = run_global(device, grid)
+        _, rs, _ = run_shared(device, grid)
+        assert rs.n_gpu > rg.n_gpu
+
+    def test_smaller_eps_more_blocks(self, device, uniform_points):
+        g1 = GridIndex.build(uniform_points, 0.6)
+        g2 = GridIndex.build(uniform_points, 0.2)
+        _, r1, _ = run_shared(device, g1)
+        _, r2, _ = run_shared(device, g2)
+        assert r2.counters.blocks > r1.counters.blocks
+
+    def test_too_few_blocks_rejected(self, device, uniform_points):
+        from repro.gpusim import LaunchConfig, launch
+
+        grid = GridIndex.build(uniform_points, 0.3)
+        result = device.allocate_result_buffer((10**5, 2), np.int64)
+        with pytest.raises(ValueError, match="launch too small"):
+            launch(
+                GPUCalcShared(),
+                LaunchConfig(1, 256),
+                device,
+                grid=grid,
+                result=result,
+            )
+
+    def test_uses_shared_memory_counters(self, device, uniform_points):
+        grid = GridIndex.build(uniform_points, 0.4)
+        _, rs, _ = run_shared(device, grid)
+        assert rs.counters.shared_loads > 0
+        assert rs.counters.shared_stores > 0
+        assert rs.counters.syncs > 0
+        _, rg, _ = run_global(device, grid)
+        assert rg.counters.shared_loads == 0

@@ -1,0 +1,109 @@
+"""Tests for the host-GPU bandwidth performance model (future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import BandwidthModel, PhaseProfile, profile_run
+
+
+def make_profile(**overrides):
+    base = dict(
+        compute_ms=10.0,
+        transfer_bytes=60_000_000,
+        n_transfers=6,
+        transfer_latency_ms=0.01,
+        host_ms=5.0,
+        overlap_efficiency=0.7,
+        profiled_bandwidth_gbs=6.0,
+    )
+    base.update(overrides)
+    return PhaseProfile(**base)
+
+
+class TestModelMath:
+    def test_monotone_in_bandwidth(self):
+        m = BandwidthModel(make_profile())
+        times = [m.predict_ms(b) for b in (1, 3, 6, 12, 50, 500)]
+        assert times == sorted(times, reverse=True)
+
+    def test_reproduces_profiled_point(self):
+        p = make_profile()
+        m = BandwidthModel(p)
+        t = m.predict_ms(p.profiled_bandwidth_gbs)
+        # serialized/ideal bounds hold at the profiled point
+        transfer = p.transfer_ms_at(p.profiled_bandwidth_gbs)
+        assert p.host_ms + max(p.compute_ms, transfer) <= t
+        assert t <= p.host_ms + p.compute_ms + transfer
+
+    def test_asymptote_is_lower_bound(self):
+        m = BandwidthModel(make_profile())
+        assert m.asymptote_ms() <= m.predict_ms(1000.0) + 1e-9
+        assert m.asymptote_ms() > 0
+
+    def test_nvlink_speedup(self):
+        """The paper's prediction: more bandwidth -> hybrid improves."""
+        m = BandwidthModel(make_profile())
+        sp = m.speedup_vs_profiled(40.0)  # NVLink-class
+        assert sp > 1.0
+
+    def test_perfect_overlap_hides_transfers(self):
+        hidden = BandwidthModel(make_profile(overlap_efficiency=1.0))
+        serial = BandwidthModel(make_profile(overlap_efficiency=0.0))
+        assert hidden.predict_ms(6.0) < serial.predict_ms(6.0)
+
+    def test_compute_bound_saturates_early(self):
+        """When compute dominates, extra bandwidth stops helping."""
+        m = BandwidthModel(
+            make_profile(compute_ms=1000.0, overlap_efficiency=1.0)
+        )
+        assert m.speedup_vs_profiled(1000.0) < 1.05
+
+    def test_saturation_bandwidth(self):
+        m = BandwidthModel(make_profile())
+        b = m.saturation_bandwidth_gbs()
+        assert m.predict_ms(b) <= m.asymptote_ms() * 1.021
+        assert m.predict_ms(b / 4) > m.predict_ms(b)
+
+    def test_sweep_rows(self):
+        m = BandwidthModel(make_profile())
+        rows = m.sweep([3.0, 6.0, 12.0])
+        assert len(rows) == 3
+        assert rows[0][1] > rows[2][1]  # more bandwidth, less time
+
+    def test_invalid_bandwidth(self):
+        m = BandwidthModel(make_profile())
+        with pytest.raises(ValueError):
+            m.predict_ms(0.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_property_bounds(self, bandwidth, eff):
+        p = make_profile(overlap_efficiency=eff)
+        m = BandwidthModel(p)
+        t = m.predict_ms(bandwidth)
+        transfer = p.transfer_ms_at(bandwidth)
+        assert p.host_ms + max(p.compute_ms, transfer) - 1e-9 <= t
+        assert t <= p.host_ms + p.compute_ms + transfer + 1e-9
+
+
+class TestProfiledRuns:
+    def test_profile_from_real_run(self, blobs_points):
+        model = profile_run(blobs_points, 0.5, 5)
+        p = model.profile
+        assert p.compute_ms > 0
+        assert p.transfer_bytes > 0
+        assert p.host_ms > 0
+        assert 0 <= p.overlap_efficiency <= 1
+
+    def test_bandwidth_sweep_on_real_run(self, blobs_points):
+        model = profile_run(blobs_points, 0.5, 5)
+        rows = model.sweep([3.0, 6.0, 12.0, 40.0])
+        times = [r[1] for r in rows]
+        assert times == sorted(times, reverse=True)
+        # NVLink-class bandwidth is at least as good as PCIe-class
+        assert rows[-1][2] >= 1.0

@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def points_file(tmp_path, blobs_points):
+    path = tmp_path / "pts.npy"
+    np.save(path, blobs_points)
+    return str(path)
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+def run_json(capsys, argv):
+    code, out = run_cli(capsys, argv + ["--json"])
+    return code, json.loads(out)
+
+
+class TestCluster:
+    def test_basic(self, capsys, points_file):
+        code, payload = run_json(
+            capsys, ["cluster", points_file, "--eps", "0.5", "--minpts", "5"]
+        )
+        assert code == 0
+        assert payload["clusters"] == 2
+        assert payload["points"] == 560
+
+    def test_labels_out(self, capsys, points_file, tmp_path):
+        out = tmp_path / "labels.npy"
+        code, _ = run_json(
+            capsys,
+            ["cluster", points_file, "--eps", "0.5", "--labels-out", str(out)],
+        )
+        assert code == 0
+        labels = np.load(out)
+        assert len(labels) == 560
+
+    def test_named_dataset(self, capsys):
+        code, payload = run_json(
+            capsys,
+            ["cluster", "SW1", "--scale", "0.001", "--eps", "0.5"],
+        )
+        assert code == 0
+        assert payload["points"] == 1865
+
+    def test_shared_kernel(self, capsys, points_file):
+        code, payload = run_json(
+            capsys,
+            ["cluster", points_file, "--eps", "0.5", "--kernel", "shared"],
+        )
+        assert code == 0
+
+    def test_text_output(self, capsys, points_file):
+        code, out = run_cli(capsys, ["cluster", points_file, "--eps", "0.5"])
+        assert code == 0
+        assert "clusters:" in out
+
+
+class TestSweep:
+    def test_sequential(self, capsys, points_file):
+        code, payload = run_json(
+            capsys,
+            ["sweep", points_file, "--eps", "0.3", "0.5", "--minpts", "5"],
+        )
+        assert code == 0
+        assert len(payload["results"]) == 2
+        assert payload["mode"] == "sequential"
+
+    def test_pipelined(self, capsys, points_file):
+        code, payload = run_json(
+            capsys,
+            ["sweep", points_file, "--eps", "0.3", "0.5", "--pipelined"],
+        )
+        assert payload["mode"] == "pipelined"
+
+    def test_annotated(self, capsys, points_file):
+        code, payload = run_json(
+            capsys,
+            ["sweep", points_file, "--eps", "0.3", "0.5", "--annotated"],
+        )
+        assert payload["mode"] == "annotated"
+        assert len(payload["results"]) == 2
+
+    def test_annotated_matches_sequential(self, capsys, points_file):
+        _, seq = run_json(
+            capsys, ["sweep", points_file, "--eps", "0.3", "0.5", "--minpts", "5"]
+        )
+        _, ann = run_json(
+            capsys,
+            ["sweep", points_file, "--eps", "0.3", "0.5", "--minpts", "5",
+             "--annotated"],
+        )
+        assert [r["clusters"] for r in seq["results"]] == [
+            r["clusters"] for r in ann["results"]
+        ]
+
+
+class TestReuse:
+    def test_basic(self, capsys, points_file):
+        code, payload = run_json(
+            capsys,
+            ["reuse", points_file, "--eps", "0.5", "--minpts", "3", "5", "9"],
+        )
+        assert code == 0
+        assert [r["minpts"] for r in payload["results"]] == [3, 5, 9]
+        assert payload["threads"] == 16
+
+
+class TestOptics:
+    def test_with_extraction(self, capsys, points_file):
+        code, payload = run_json(
+            capsys,
+            ["optics", points_file, "--eps", "0.5", "--minpts", "5",
+             "--extract", "0.2", "0.5"],
+        )
+        assert code == 0
+        assert len(payload["extractions"]) == 2
+        assert payload["extractions"][1]["clusters"] == 2
+
+
+class TestInfo:
+    def test_basic(self, capsys, points_file):
+        code, payload = run_json(capsys, ["info", points_file])
+        assert code == 0
+        assert payload["points"] == 560
+        assert payload["mean_neighbors"] >= 1
+
+    def test_explicit_eps(self, capsys, points_file):
+        code, payload = run_json(
+            capsys, ["info", points_file, "--eps", "0.5"]
+        )
+        assert payload["profile_eps"] == 0.5
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_missing_file(self, capsys, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["cluster", str(tmp_path / "nope.npy"), "--eps", "0.5"])

@@ -1,0 +1,94 @@
+"""Tests for the EXPERIMENTS.md generator (runs on synthetic artifacts)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+GEN = Path(__file__).resolve().parents[1] / "benchmarks" / "make_experiments_md.py"
+
+
+@pytest.fixture
+def generator(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("make_experiments_md", GEN)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    monkeypatch.setattr(mod, "RESULTS", tmp_path / "results")
+    monkeypatch.setattr(mod, "OUT", tmp_path / "EXPERIMENTS.md")
+    (tmp_path / "results").mkdir()
+    return mod
+
+
+def write_artifact(mod, name, payload):
+    (mod.RESULTS / f"{name}.json").write_text(json.dumps(payload))
+
+
+class TestGenerator:
+    def test_empty_results_marks_not_run(self, generator):
+        generator.main()
+        text = generator.OUT.read_text()
+        assert "_not run_" in text
+        assert "Table I" in text
+        assert "Figure 6" in text
+
+    def test_table1_rendering(self, generator):
+        write_artifact(
+            generator,
+            "table1_rtree_fraction",
+            {
+                "scale": 0.005,
+                "rows": [
+                    {
+                        "dataset": "SW1",
+                        "eps": 0.2,
+                        "frac_index_time": 0.91,
+                        "total_s": 1.0,
+                        "n_queries": 100,
+                        "n_points": 9000,
+                    }
+                ],
+            },
+        )
+        generator.main()
+        text = generator.OUT.read_text()
+        assert "0.91" in text
+        assert "0.48-0.72" in text  # paper range quoted
+
+    def test_fig4_rendering(self, generator):
+        write_artifact(
+            generator,
+            "fig4_table4_pipeline",
+            {
+                "scale": 0.005,
+                "rows": [
+                    {
+                        "dataset": "SDSS3",
+                        "ref_total_s": 100.0,
+                        "nonpipelined_s": 10.0,
+                        "pipelined_s": 8.0,
+                        "speedup_vs_ref": 12.5,
+                        "speedup_vs_nonpipelined": 1.25,
+                    }
+                ],
+            },
+        )
+        generator.main()
+        text = generator.OUT.read_text()
+        assert "12.5" in text
+        assert "3.36x-5.13x" in text
+
+    def test_every_paper_artifact_has_a_section(self, generator):
+        generator.main()
+        text = generator.OUT.read_text()
+        for heading in (
+            "Table I",
+            "Table II",
+            "Figure 3 / Table III",
+            "Figure 4 + Table IV",
+            "Figure 5 / Table V",
+            "Figure 6",
+            "Ablations and extensions",
+        ):
+            assert heading in text, heading

@@ -1,0 +1,173 @@
+"""Tests for the simulated multicore host scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hostsim import schedule_parallel, schedule_pipeline
+
+durations_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=40
+)
+
+
+class TestScheduleParallel:
+    def test_single_worker_is_serial(self):
+        s = schedule_parallel([1.0, 2.0, 3.0], 1)
+        assert s.makespan_s == 6.0
+        assert s.speedup == 1.0
+
+    def test_perfect_split(self):
+        s = schedule_parallel([1.0] * 8, 4)
+        assert s.makespan_s == 2.0
+        assert s.speedup == 4.0
+
+    def test_imbalanced_tail(self):
+        # one long task dominates regardless of worker count
+        s = schedule_parallel([10.0, 1.0, 1.0], 16)
+        assert s.makespan_s == 10.0
+
+    def test_in_order_dispatch(self):
+        s = schedule_parallel([5.0, 1.0, 1.0], 2)
+        # task 0 on w0; tasks 1, 2 share w1 -> makespan 5
+        assert s.makespan_s == 5.0
+        by_task = {iv.task: iv for iv in s.intervals}
+        assert by_task[2].start_s == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert schedule_parallel([], 4).makespan_s == 0.0
+
+    def test_per_task_overhead(self):
+        s = schedule_parallel([1.0, 1.0], 2, per_task_overhead_s=0.5)
+        assert s.makespan_s == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_parallel([1.0], 0)
+        with pytest.raises(ValueError):
+            schedule_parallel([-1.0], 2)
+
+    def test_utilization_bounds(self):
+        s = schedule_parallel([1.0, 2.0, 3.0], 2)
+        assert 0 < s.utilization <= 1
+
+    @given(durations_strategy, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=80)
+    def test_property_bounds(self, ds, n):
+        """Makespan is between serial/n (perfect) and serial (worst),
+        and at least the longest task."""
+        s = schedule_parallel(ds, n)
+        serial = sum(ds)
+        longest = max(ds, default=0.0)
+        assert s.makespan_s <= serial + 1e-9
+        assert s.makespan_s >= serial / n - 1e-9
+        assert s.makespan_s >= longest - 1e-9
+
+    @given(durations_strategy)
+    @settings(max_examples=40)
+    def test_property_more_workers_never_slower(self, ds):
+        prev = None
+        for n in (1, 2, 4, 8):
+            m = schedule_parallel(ds, n).makespan_s
+            if prev is not None:
+                assert m <= prev + 1e-9
+            prev = m
+
+
+class TestSchedulePipeline:
+    def test_no_overlap_single_item(self):
+        s = schedule_pipeline([2.0], [3.0], 1)
+        assert s.makespan_s == 5.0
+
+    def test_full_overlap_balanced(self):
+        """With equal produce/consume costs, the steady state hides all
+        but the pipeline fill — the paper's S2 design point."""
+        n = 10
+        s = schedule_pipeline([1.0] * n, [1.0] * n, 1)
+        assert s.makespan_s == pytest.approx(n + 1.0)
+        assert s.speedup_vs_serial == pytest.approx(2 * n / (n + 1.0))
+
+    def test_producer_bound(self):
+        s = schedule_pipeline([2.0] * 5, [0.1] * 5, 3)
+        assert s.makespan_s == pytest.approx(10.0 + 0.1)
+
+    def test_consumer_bound_extra_consumers_help(self):
+        slow = schedule_pipeline([0.1] * 6, [3.0] * 6, 1)
+        fast = schedule_pipeline([0.1] * 6, [3.0] * 6, 3)
+        assert fast.makespan_s < slow.makespan_s
+
+    def test_queue_depth_backpressure(self):
+        """A bounded queue stalls the producer when consumers lag."""
+        free = schedule_pipeline([0.1] * 10, [5.0] * 10, 1, queue_depth=None)
+        bounded = schedule_pipeline([0.1] * 10, [5.0] * 10, 1, queue_depth=2)
+        # same makespan here (consumer-bound) but the producer finishes
+        # later under back-pressure
+        assert bounded.produce_end_s[-1] > free.produce_end_s[-1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            schedule_pipeline([1.0], [1.0, 2.0], 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_pipeline([1.0], [1.0], 0)
+
+    def test_empty(self):
+        assert schedule_pipeline([], [], 2).makespan_s == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=25),
+        st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=25),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60)
+    def test_property_bounds(self, ps, cs, n):
+        k = min(len(ps), len(cs))
+        ps, cs = ps[:k], cs[:k]
+        s = schedule_pipeline(ps, cs, n)
+        serial = sum(ps) + sum(cs)
+        assert s.makespan_s <= serial + 1e-9
+        # cannot beat either resource's total demand
+        assert s.makespan_s >= sum(ps) - 1e-9
+        assert s.makespan_s >= sum(cs) / n - 1e-9
+        assert s.speedup_vs_serial >= 1.0 - 1e-9
+
+
+class TestEndToEndModes:
+    def test_reuse_simulate_speedup_monotone(self, blobs_points):
+        from repro.core import cluster_with_reuse
+
+        prev = None
+        for nt in (1, 4, 16):
+            r = cluster_with_reuse(
+                blobs_points, 0.5, list(range(2, 18)), n_threads=nt
+            )
+            assert r.mode == "simulate"
+            if prev is not None:
+                assert r.cluster_s <= prev + 1e-9
+            prev = r.cluster_s
+
+    def test_reuse_invalid_mode(self, blobs_points):
+        from repro.core import cluster_with_reuse
+
+        with pytest.raises(ValueError):
+            cluster_with_reuse(blobs_points, 0.5, [4], mode="mpi")
+
+    def test_pipeline_simulate_not_slower_than_serial(self, blobs_points):
+        from repro.core import MultiClusterPipeline, VariantSet
+
+        vs = VariantSet.eps_sweep([0.3, 0.4, 0.5, 0.6])
+        pipe = MultiClusterPipeline()
+        seq = pipe.run(blobs_points, vs, pipelined=False)
+        par = pipe.run(blobs_points, vs, pipelined=True)
+        assert par.mode == "simulate"
+        # modeled pipelined makespan cannot exceed its own serial parts
+        assert par.total_s <= par.sum_build_s + par.sum_dbscan_s + 1e-9
+
+    def test_pipeline_invalid_mode(self, blobs_points):
+        from repro.core import MultiClusterPipeline, VariantSet
+
+        with pytest.raises(ValueError):
+            MultiClusterPipeline().run(
+                blobs_points, VariantSet.eps_sweep([0.3]), mode="mpi"
+            )
