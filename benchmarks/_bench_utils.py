@@ -24,7 +24,6 @@ import numpy as np
 from repro.baseline import sequential_dbscan
 from repro.baseline.sequential_dbscan import IndexedPoints
 from repro.data import dataset
-from repro.data.scale import DATASETS
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.005"))
 N_TRIALS = int(os.environ.get("REPRO_TRIALS", "1"))
@@ -78,6 +77,22 @@ def timed(fn: Callable[[], object], n_trials: int = N_TRIALS) -> float:
         fn()
         times.append(time.perf_counter() - t0)
     return sum(times) / len(times)
+
+
+def recovery_summary(rec) -> str:
+    """One-cell summary of a :class:`~repro.core.RecoveryStats` record."""
+    parts = []
+    for label, n in (
+        ("split", rec.splits),
+        ("regrow", rec.regrows),
+        ("restart", rec.restarts),
+        ("xfer-retry", rec.transfer_retries),
+    ):
+        if n:
+            parts.append(f"{n} {label}")
+    if not parts:
+        return "clean"
+    return ", ".join(parts) + f" ({rec.wasted_kernel_s * 1e3:.1f} ms wasted)"
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

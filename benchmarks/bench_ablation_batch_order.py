@@ -12,11 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench import format_table, save_json
-from repro.core import BatchConfig
-from repro.core.batching import BatchPlanner, build_neighbor_table
 from repro.gpusim import Device
 from repro.index import GridIndex
-from repro.kernels import GPUCalcGlobal, batch_point_ids
+from repro.kernels import GPUCalcGlobal
 from repro.gpusim.launch import launch
 
 from _bench_utils import BENCH_SCALE, bench_points, report

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.bench import format_table, save_json
 from repro.core import BatchConfig, BatchPlanner
 from repro.gpusim import Device
-from repro.index import BruteForceIndex, GridIndex
+from repro.index import GridIndex
 
 from _bench_utils import BENCH_SCALE, bench_points, report
 

@@ -14,7 +14,7 @@ from repro.core import HybridDBSCAN
 from repro.data.scale import DATASETS
 from repro.gpusim import Device
 
-from _bench_utils import BENCH_SCALE, N_TRIALS, bench_points, ref_seconds, report, timed
+from _bench_utils import BENCH_SCALE, N_TRIALS, bench_points, ref_seconds, report
 
 PANELS = ["SW1", "SW4", "SDSS1", "SDSS3"]
 MINPTS = 4

@@ -10,9 +10,8 @@ DBSCAN-only curves is the (fixed) time to compute T.
 from __future__ import annotations
 
 from repro.bench import SeriesSet, save_json
-from repro.core import HybridDBSCAN, cluster_with_reuse
+from repro.core import cluster_with_reuse
 from repro.data.scale import DATASETS
-from repro.gpusim import Device
 from repro.hostsim import schedule_parallel
 
 from _bench_utils import BENCH_SCALE, bench_points, report

@@ -13,8 +13,6 @@ Usage::
     python examples/batching_internals.py
 """
 
-import numpy as np
-
 from repro.core import BatchConfig, BatchPlanner
 from repro.core.batching import build_neighbor_table
 from repro.data import make_sw

@@ -15,12 +15,12 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Literal, Optional
+from typing import Literal, Optional
 
 import numpy as np
 
 from repro.core.table_dbscan import NOISE, canonicalize_labels
-from repro.index.base import BruteForceIndex, SpatialIndex, as_points
+from repro.index.base import BruteForceIndex, as_points
 from repro.index.grid import GridIndex
 from repro.index.rtree import RTree
 

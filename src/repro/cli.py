@@ -31,6 +31,7 @@ import numpy as np
 
 from repro import __version__
 from repro.core import (
+    BatchConfig,
     HybridDBSCAN,
     MultiClusterPipeline,
     VariantSet,
@@ -40,6 +41,7 @@ from repro.core import (
     optics,
 )
 from repro.data import DATASETS, dataset, density_profile, load_points
+from repro.gpusim import Device, FaultInjector, FaultSpec
 
 __all__ = ["main", "build_parser"]
 
@@ -78,6 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--minpts", type=int, default=4)
     c.add_argument("--kernel", choices=["global", "shared"], default="global")
     c.add_argument("--labels-out", help="write labels to this .npy file")
+    c.add_argument(
+        "--recovery",
+        choices=["auto", "split", "regrow", "restart"],
+        default="auto",
+        help="overflow recovery strategy for the batched table build",
+    )
+    c.add_argument(
+        "--inject-overflow", type=int, nargs="*", metavar="BATCH", default=None,
+        help="fault injection: overflow the result buffer at these batch "
+             "indices (exercises the recovery path)",
+    )
+    c.add_argument(
+        "--inject-transfer", type=int, nargs="*", metavar="BATCH", default=None,
+        help="fault injection: fail the staging transfer of these batches",
+    )
 
     s = sub.add_parser("sweep", help="scenario S2: eps sweep at fixed minpts")
     common(s)
@@ -113,7 +130,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_cluster(args) -> int:
     pts = _load(args.points, args.scale)
-    res = HybridDBSCAN(kernel=args.kernel).fit(pts, args.eps, args.minpts)
+    specs = []
+    for kind, batches in (
+        ("overflow", args.inject_overflow),
+        ("transfer", args.inject_transfer),
+    ):
+        if batches is not None:
+            specs.append(FaultSpec(kind, frozenset(batches)))
+    device = Device(faults=FaultInjector(specs) if specs else None)
+    res = HybridDBSCAN(
+        device,
+        kernel=args.kernel,
+        batch_config=BatchConfig(recovery=args.recovery),
+    ).fit(pts, args.eps, args.minpts)
     if args.labels_out:
         np.save(args.labels_out, res.labels)
     _emit(
@@ -128,6 +157,7 @@ def _cmd_cluster(args) -> int:
             "total_s": round(res.timings.total_s, 4),
             "gpu_s": round(res.timings.gpu_s, 4),
             "dbscan_s": round(res.timings.dbscan_s, 4),
+            "recovery": res.recovery.as_dict(),
         },
         args.json,
     )
@@ -153,6 +183,7 @@ def _cmd_sweep(args) -> int:
         payload = {
             "mode": "pipelined" if args.pipelined else "sequential",
             "total_s": round(res.total_s, 4),
+            "recovery": res.recovery.as_dict(),
             "results": [
                 {
                     "eps": o.variant.eps,

@@ -8,7 +8,7 @@
 * :mod:`~repro.core.reuse` — the S3 neighbor-table reuse scheme.
 """
 
-from repro.core.batching import BatchConfig, BatchPlan, BatchPlanner
+from repro.core.batching import BatchConfig, BatchPlan, BatchPlanner, RecoveryStats
 from repro.core.hybrid_dbscan import DBSCANResult, HybridDBSCAN, TimingBreakdown
 from repro.core.multi_eps import EpsSweepResult, cluster_eps_sweep
 from repro.core.neighbor_table import NeighborTable
@@ -27,6 +27,7 @@ __all__ = [
     "BatchConfig",
     "BatchPlan",
     "BatchPlanner",
+    "RecoveryStats",
     "HybridDBSCAN",
     "DBSCANResult",
     "TimingBreakdown",

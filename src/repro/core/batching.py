@@ -4,20 +4,31 @@ The result set can exceed GPU global memory, so the neighbor table is
 built in ``n_b`` batches:
 
 1. a counting kernel over a uniformly distributed fraction ``f`` (1%) of
-   the points yields ``e_b``; the total result size estimate is
-   ``a_b = e_b / f``;
+   the points yields the sample neighbor count; extrapolating gives the
+   estimated total result set size — the paper's ``e_b``, held here as
+   ``a_b`` (this module keeps ``e_b`` for the raw sample count);
 2. with an overestimation factor ``α`` (0.05),
    ``n_b = ceil((1 + α) · a_b / b_b)``   (Equation 1);
-3. the per-stream device buffer ``b_b`` is *static* when the estimate is
-   large (paper: ``a_b ≥ 3·10⁸ → b_b = 10⁸``) and *variable* otherwise
-   (``b_b = a_b (1 + 2α) / 3`` — α doubled because small estimates are
-   noisier), so small workloads don't pay pinned-allocation time for
-   huge buffers;
+3. the per-stream device buffer ``b_b`` is *static* when the estimated
+   total result size is large (paper: ``e_b ≥ 3·10⁸ → b_b = 10⁸``,
+   i.e. ``a_b ≥ 3·10⁸`` in this module's naming) and *variable*
+   otherwise (``b_b = a_b (1 + 2α) / 3`` — α doubled because small
+   estimates are noisier), so small workloads don't pay
+   pinned-allocation time for huge buffers;
 4. batch ``l`` processes points ``{g·n_b + l}`` — strided, which is
    spatially uniform because points are stored in spatial sort order —
    keeping every batch's result size ``|R_l| ≲ b_b``;
 5. batches round-robin over 3 streams, overlapping kernel, device sort,
    transfer to pinned staging, and host-side table construction.
+
+When a batch still overflows its buffer (the estimate lost to an
+adversarial density), recovery is **per batch**: the failed batch is
+split in two (or its worker's buffer is regrown, bounded by the memory
+pool's free bytes) and re-run on the same stream while every completed
+batch is kept — O(failed batches) re-work instead of the legacy
+restart-everything fallback (``recovery="restart"``), which rebuilt the
+whole table with doubled ``n_b``.  :class:`RecoveryStats` accounts for
+the recovery work (splits, regrows, retries, wasted kernel-seconds).
 
 At repo scale the paper's thresholds would always yield the 3-batch
 minimum, so :class:`BatchConfig` defaults to 1/100-scaled thresholds;
@@ -30,22 +41,31 @@ import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Literal, Optional
 
 import numpy as np
 
 from repro.gpusim.device import Device
+from repro.gpusim.faults import FaultInjector, TransferError
 from repro.gpusim.launch import launch
-from repro.gpusim.memory import ResultBufferOverflow
+from repro.gpusim.memory import DeviceMemoryError, ResultBufferOverflow
 from repro.gpusim.thrust import sort_pairs
 from repro.index.grid import GridIndex
 from repro.kernels.count_kernel import NeighborCountKernel, sample_point_ids
-from repro.kernels.global_kernel import GPUCalcGlobal
+from repro.kernels.global_kernel import GPUCalcGlobal, batch_point_ids
 from repro.kernels.shared_kernel import GPUCalcShared
 from repro.core.neighbor_table import NeighborTable
 
-__all__ = ["BatchConfig", "BatchPlan", "BatchPlanner", "build_neighbor_table"]
+__all__ = [
+    "BatchConfig",
+    "BatchPlan",
+    "BatchPlanner",
+    "RecoveryStats",
+    "TableBuildStats",
+    "build_neighbor_table",
+]
 
 PAIR_DTYPE = np.int64
 #: bytes per plain (key, value) pair; annotated (key, value, dist)
@@ -63,7 +83,8 @@ class BatchConfig:
     sample_fraction: float = 0.01
     #: CUDA streams (the paper found 3 optimal)
     n_streams: int = 3
-    #: estimate above which the static buffer size is used
+    #: estimated total result size (paper's e_b, our a_b) above which
+    #: the static buffer size is used
     static_threshold: int = 3_000_000
     #: static per-stream buffer capacity (pairs)
     static_buffer_size: int = 1_000_000
@@ -71,6 +92,15 @@ class BatchConfig:
     min_buffer_size: int = 1024
     #: strided (paper) or contiguous (ablation) batch assignment
     batch_order: Literal["strided", "contiguous"] = "strided"
+    #: overflow recovery strategy: ``auto`` splits the failed batch and
+    #: falls back to regrowing the worker's buffer; ``split`` / ``regrow``
+    #: force one mechanism; ``restart`` is the legacy rebuild-everything
+    #: fallback (kept for the ablation benchmark)
+    recovery: Literal["auto", "split", "regrow", "restart"] = "auto"
+    #: bound on recursive per-batch recovery (split depth / regrow count)
+    max_recovery_depth: int = 16
+    #: re-runs of a batch whose staging transfer failed
+    max_transfer_retries: int = 2
 
     def __post_init__(self) -> None:
         if not 0 <= self.alpha < 1:
@@ -79,10 +109,18 @@ class BatchConfig:
             raise ValueError("sample_fraction must be in (0, 1]")
         if self.n_streams < 1:
             raise ValueError("n_streams must be >= 1")
+        if self.recovery not in ("auto", "split", "regrow", "restart"):
+            raise ValueError(f"unknown recovery strategy {self.recovery!r}")
+        if self.max_recovery_depth < 0:
+            raise ValueError("max_recovery_depth must be >= 0")
+        if self.max_transfer_retries < 0:
+            raise ValueError("max_transfer_retries must be >= 0")
 
     @classmethod
     def paper(cls, **overrides) -> "BatchConfig":
-        """The constants as published (e_b ≥ 3·10⁸ → b_b = 10⁸)."""
+        """The constants as published: static buffer when the estimated
+        total result size reaches 3·10⁸ pairs (the paper's ``e_b ≥ 3·10⁸
+        → b_b = 10⁸``; the estimate is called ``a_b`` in this module)."""
         params = dict(static_threshold=300_000_000, static_buffer_size=100_000_000)
         params.update(overrides)
         return cls(**params)
@@ -92,9 +130,9 @@ class BatchConfig:
 class BatchPlan:
     """Output of the planning phase."""
 
-    #: e_b — neighbor count over the f-sample
+    #: raw neighbor count over the f-sample (*not* the paper's e_b)
     eb: int
-    #: a_b — estimated total result set size
+    #: estimated total result set size (the paper's e_b) — eb / f
     ab: int
     #: b_b — per-stream device buffer capacity (pairs)
     buffer_size: int
@@ -164,6 +202,48 @@ class BatchPlanner:
 
 
 @dataclass
+class RecoveryStats:
+    """Accounting of the robustness layer's recovery work."""
+
+    #: failed batches split into two sub-units
+    splits: int = 0
+    #: worker buffers regrown (doubled) after an overflow
+    regrows: int = 0
+    #: unit re-executions scheduled by recovery (split → 2, regrow → 1,
+    #: transfer retry → 1)
+    retries: int = 0
+    #: failed staging transfers that were re-run
+    transfer_retries: int = 0
+    #: legacy whole-table restarts (``recovery="restart"`` only)
+    restarts: int = 0
+    #: kernel/sort/transfer seconds discarded by failed attempts
+    wasted_kernel_s: float = 0.0
+
+    @property
+    def recoveries(self) -> int:
+        """Total recovery actions of any kind."""
+        return self.splits + self.regrows + self.transfer_retries + self.restarts
+
+    def merge(self, other: "RecoveryStats") -> None:
+        self.splits += other.splits
+        self.regrows += other.regrows
+        self.retries += other.retries
+        self.transfer_retries += other.transfer_retries
+        self.restarts += other.restarts
+        self.wasted_kernel_s += other.wasted_kernel_s
+
+    def as_dict(self) -> dict:
+        return {
+            "splits": self.splits,
+            "regrows": self.regrows,
+            "retries": self.retries,
+            "transfer_retries": self.transfer_retries,
+            "restarts": self.restarts,
+            "wasted_kernel_s": round(self.wasted_kernel_s, 6),
+        }
+
+
+@dataclass
 class TableBuildStats:
     """Wall-clock and device accounting from one table construction."""
 
@@ -175,7 +255,9 @@ class TableBuildStats:
     total_s: float = 0.0
     n_batches_run: int = 0
     batch_sizes: list[int] = field(default_factory=list)
+    #: legacy whole-table restarts (== recovery.restarts)
     overflow_retries: int = 0
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
 
 
 def build_neighbor_table(
@@ -189,6 +271,7 @@ def build_neighbor_table(
     plan: Optional[BatchPlan] = None,
     max_overflow_retries: int = 4,
     with_distances: bool = False,
+    faults: Optional[FaultInjector] = None,
 ) -> tuple[NeighborTable, TableBuildStats]:
     """Construct the neighbor table ``T`` with the batching scheme.
 
@@ -205,19 +288,58 @@ def build_neighbor_table(
     memory, and ingests it into the (thread-safe) table.
 
     If a batch overflows its device buffer (the estimate was too low
-    despite α), the whole construction restarts with doubled ``n_b`` —
-    the robustness fallback for adversarial densities.
+    despite α), recovery is per batch and governed by
+    ``config.recovery``: the failed batch is split in two or its
+    worker's buffer is regrown (bounded by the device pool's free
+    bytes) and re-run on the same stream; completed batches are kept.
+    With ``recovery="restart"`` the legacy fallback applies instead:
+    the whole construction restarts with doubled ``n_b``, up to
+    ``max_overflow_retries`` times.  Failed staging transfers (fault
+    injection) are retried up to ``config.max_transfer_retries`` times
+    in every mode.
+
+    ``faults`` (or an injector attached to the device) exercises these
+    paths deterministically — see :mod:`repro.gpusim.faults`.
     """
     if with_distances and kernel != "global":
         raise ValueError("annotated tables require the global kernel")
     cfg = config or BatchConfig()
     planner = BatchPlanner(cfg)
     the_plan = plan or planner.plan(grid, device, backend=backend)
+    injector = faults if faults is not None else device.faults
+    # the transfer/allocation hooks live on the device, so an injector
+    # passed here must be visible there too for the build's duration
+    prev_faults = device.faults
+    device.faults = injector
+    try:
+        return _build_with_restarts(
+            grid, device, the_plan, cfg, kernel, backend, block_dim,
+            max_overflow_retries, with_distances, injector,
+        )
+    finally:
+        device.faults = prev_faults
+
+
+def _build_with_restarts(
+    grid: GridIndex,
+    device: Device,
+    the_plan: BatchPlan,
+    cfg: BatchConfig,
+    kernel: str,
+    backend: str,
+    block_dim: int,
+    max_overflow_retries: int,
+    with_distances: bool,
+    injector: Optional[FaultInjector],
+) -> tuple[NeighborTable, TableBuildStats]:
     stats = TableBuildStats(plan=the_plan)
     t_start = time.perf_counter()
 
     for attempt in range(max_overflow_retries + 1):
         nb = the_plan.n_batches * (2**attempt)
+        # fresh per-attempt accounting: a failed attempt must not inflate
+        # the reported per-phase timings (only its wasted seconds count)
+        attempt_stats = TableBuildStats(plan=the_plan)
         try:
             table = _run_batches(
                 grid,
@@ -228,19 +350,32 @@ def build_neighbor_table(
                 kernel,
                 backend,
                 block_dim,
-                stats,
+                attempt_stats,
                 with_distances,
+                faults=injector,
             )
-            stats.overflow_retries = attempt
-            stats.total_s = time.perf_counter() - t_start
-            return table.finalize(), stats
         except ResultBufferOverflow:
-            if attempt == max_overflow_retries:
+            # everything this attempt did is thrown away
+            stats.recovery.merge(attempt_stats.recovery)
+            stats.recovery.wasted_kernel_s += (
+                attempt_stats.kernel_s
+                + attempt_stats.sort_s
+                + attempt_stats.transfer_s
+            )
+            if cfg.recovery != "restart" or attempt == max_overflow_retries:
                 raise
-            # discard the failed attempt's partial accounting
-            stats.batch_sizes.clear()
-            stats.n_batches_run = 0
+            stats.recovery.restarts += 1
             continue
+        stats.kernel_s = attempt_stats.kernel_s
+        stats.sort_s = attempt_stats.sort_s
+        stats.transfer_s = attempt_stats.transfer_s
+        stats.host_copy_s = attempt_stats.host_copy_s
+        stats.n_batches_run = attempt_stats.n_batches_run
+        stats.batch_sizes = attempt_stats.batch_sizes
+        stats.recovery.merge(attempt_stats.recovery)
+        stats.overflow_retries = stats.recovery.restarts
+        stats.total_s = time.perf_counter() - t_start
+        return table.finalize(), stats
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -255,10 +390,12 @@ def _run_batches(
     block_dim: int,
     stats: TableBuildStats,
     with_distances: bool = False,
+    faults: Optional[FaultInjector] = None,
 ) -> NeighborTable:
     kernel = GPUCalcGlobal() if kernel_name == "global" else GPUCalcShared()
     table = NeighborTable(len(grid), grid.eps, with_distances=with_distances)
     n_workers = min(cfg.n_streams, n_batches)
+    recover = cfg.recovery != "restart"
 
     # per-stream resources: device result buffer + pinned staging buffer;
     # annotated results carry a float distance column (rows are float64,
@@ -266,75 +403,80 @@ def _run_batches(
     width = 3 if with_distances else 2
     dtype = np.float64 if with_distances else PAIR_DTYPE
     streams = [device.new_stream(f"batch-stream{i}") for i in range(n_workers)]
-    result_bufs = [
-        device.allocate_result_buffer(
-            (plan.buffer_size, width), dtype, name=f"gpuResultSet{i}"
-        )
-        for i in range(n_workers)
-    ]
-    pinned_bufs = [
-        device.alloc_pinned((plan.buffer_size, width), dtype)
-        for i in range(n_workers)
-    ]
+    result_bufs: list = []
+    pinned_bufs: list = []
     stats_lock = threading.Lock()
     ga = grid.device_arrays()
 
-    def run_batch(l: int, worker: int) -> None:
+    def attempt_unit(l: int, worker: int, mask: Optional[np.ndarray]) -> None:
+        """One kernel→sort→transfer→ingest pass over a batch (or a masked
+        sub-unit of it); raises on overflow / injected faults."""
         stream = streams[worker]
         rbuf = result_bufs[worker]
         pinned = pinned_bufs[worker]
         rbuf.reset()
         t0 = time.perf_counter()
-        if kernel_name == "global":
-            cfg_launch = GPUCalcGlobal.launch_config(
-                len(grid), n_batches=n_batches, block_dim=block_dim
-            )
-        else:
-            cfg_launch = GPUCalcShared.launch_config(grid, block_dim=block_dim)
-        if backend == "vector":
-            kw = dict(
-                grid=grid,
-                result=rbuf,
-                batch=l,
-                n_batches=n_batches,
-                batch_order=cfg.batch_order,
-            )
-            if with_distances:
-                kw["emit_distance"] = True
-            launch(
-                kernel, cfg_launch, device, backend="vector",
-                stream=stream, **kw,
-            )
-        else:
-            kwargs = dict(
-                D=ga["D"],
-                A=ga["A"],
-                G_min=ga["G_min"],
-                G_max=ga["G_max"],
-                eps=grid.eps,
-                nx=grid.nx,
-                ny=grid.ny,
-                result=rbuf,
-                batch=l,
-                n_batches=n_batches,
-            )
+        try:
             if kernel_name == "global":
-                kwargs.update(xmin=grid.xmin, ymin=grid.ymin)
-                if with_distances:
-                    kwargs.update(emit_distance=True)
+                cfg_launch = GPUCalcGlobal.launch_config(
+                    len(grid), n_batches=n_batches, block_dim=block_dim
+                )
             else:
-                kwargs.update(S=GPUCalcShared.schedule(grid))
-            launch(
-                kernel, cfg_launch, device, backend="interpreter",
-                stream=stream, **kwargs,
+                cfg_launch = GPUCalcShared.launch_config(grid, block_dim=block_dim)
+            if backend == "vector":
+                kw = dict(
+                    grid=grid,
+                    result=rbuf,
+                    batch=l,
+                    n_batches=n_batches,
+                    batch_order=cfg.batch_order,
+                )
+                if with_distances:
+                    kw["emit_distance"] = True
+                if mask is not None:
+                    kw["point_mask"] = mask
+                launch(
+                    kernel, cfg_launch, device, backend="vector",
+                    stream=stream, **kw,
+                )
+            else:
+                kwargs = dict(
+                    D=ga["D"],
+                    A=ga["A"],
+                    G_min=ga["G_min"],
+                    G_max=ga["G_max"],
+                    eps=grid.eps,
+                    nx=grid.nx,
+                    ny=grid.ny,
+                    result=rbuf,
+                    batch=l,
+                    n_batches=n_batches,
+                )
+                if kernel_name == "global":
+                    kwargs.update(xmin=grid.xmin, ymin=grid.ymin)
+                    if with_distances:
+                        kwargs.update(emit_distance=True)
+                else:
+                    kwargs.update(S=GPUCalcShared.schedule(grid))
+                if mask is not None:
+                    kwargs.update(point_mask=mask)
+                launch(
+                    kernel, cfg_launch, device, backend="interpreter",
+                    stream=stream, **kwargs,
+                )
+            if faults is not None:
+                faults.check("overflow")
+            t1 = time.perf_counter()
+            sort_pairs(rbuf, device, stream=stream)
+            t2 = time.perf_counter()
+            n = rbuf.count
+            staged = device.from_device(
+                rbuf, out=pinned.data, stream=stream, pinned=True, count=n
             )
-        t1 = time.perf_counter()
-        sort_pairs(rbuf, device, stream=stream)
-        t2 = time.perf_counter()
-        n = rbuf.count
-        staged = device.from_device(
-            rbuf, out=pinned.data, stream=stream, pinned=True, count=n
-        )
+        except (ResultBufferOverflow, TransferError):
+            with stats_lock:
+                stats.recovery.wasted_kernel_s += time.perf_counter() - t0
+            raise
         t3 = time.perf_counter()
         if with_distances:
             table.add_batch(
@@ -353,17 +495,108 @@ def _run_batches(
             stats.batch_sizes.append(int(n))
             stats.n_batches_run += 1
 
+    def try_regrow(worker: int) -> bool:
+        """Double the worker's result (and staging) buffer if the grown
+        buffer fits the pool's free bytes; False when it cannot."""
+        rbuf = result_bufs[worker]
+        old_cap = rbuf.capacity
+        new_cap = old_cap * 2
+        new_bytes = new_cap * width * np.dtype(dtype).itemsize
+        # the old buffer is freed first (its content is disposable), so
+        # the bound is free bytes plus what the old buffer returns
+        if new_bytes > device.memory.free_bytes + rbuf.nbytes:
+            return False
+        rbuf.free()
+        try:
+            result_bufs[worker] = device.allocate_result_buffer(
+                (new_cap, width), dtype, name=f"gpuResultSet{worker}"
+            )
+        except DeviceMemoryError:
+            # lost a race (or an injected OOM): restore the old capacity
+            result_bufs[worker] = device.allocate_result_buffer(
+                (old_cap, width), dtype, name=f"gpuResultSet{worker}"
+            )
+            return False
+        pinned_bufs[worker] = device.alloc_pinned((new_cap, width), dtype)
+        return True
+
+    def run_batch(l: int, worker: int) -> None:
+        """Run batch ``l`` with per-unit recovery.
+
+        Work units are (ids, depth) pairs; ``ids=None`` is the whole
+        batch.  A unit that overflows is split in two or retried after a
+        buffer regrow; a unit whose staging transfer fails is re-run.
+        """
+        stack: list[tuple[Optional[np.ndarray], int]] = [(None, 0)]
+        transfer_failures = 0
+        while stack:
+            ids, depth = stack.pop()
+            mask = None
+            if ids is not None:
+                mask = np.zeros(len(grid), dtype=bool)
+                mask[ids] = True
+            try:
+                # the scope is single-use: build one per attempt
+                with faults.batch(l) if faults is not None else nullcontext():
+                    attempt_unit(l, worker, mask)
+                continue
+            except TransferError:
+                if transfer_failures >= cfg.max_transfer_retries:
+                    raise
+                transfer_failures += 1
+                with stats_lock:
+                    stats.recovery.transfer_retries += 1
+                    stats.recovery.retries += 1
+                stack.append((ids, depth))
+                continue
+            except ResultBufferOverflow:
+                if not recover:
+                    raise
+            # overflow recovery: split the unit or regrow the buffer
+            unit_ids = (
+                ids
+                if ids is not None
+                else batch_point_ids(len(grid), l, n_batches, cfg.batch_order)
+            )
+            in_depth = depth < cfg.max_recovery_depth
+            if cfg.recovery in ("auto", "split") and in_depth and len(unit_ids) > 1:
+                mid = len(unit_ids) // 2
+                with stats_lock:
+                    stats.recovery.splits += 1
+                    stats.recovery.retries += 2
+                stack.append((unit_ids[mid:], depth + 1))
+                stack.append((unit_ids[:mid], depth + 1))
+                continue
+            if cfg.recovery in ("auto", "regrow") and in_depth and try_regrow(worker):
+                with stats_lock:
+                    stats.recovery.regrows += 1
+                    stats.recovery.retries += 1
+                stack.append((ids, depth + 1))
+                continue
+            raise ResultBufferOverflow(
+                f"batch {l}: recovery exhausted at depth {depth} "
+                f"(strategy {cfg.recovery!r}, unit of {len(unit_ids)} points, "
+                f"buffer {result_bufs[worker].capacity} pairs)"
+            )
+
+    def worker_loop(w: int) -> None:
+        for l in range(w, n_batches, n_workers):
+            run_batch(l, w)
+
     try:
+        for i in range(n_workers):
+            result_bufs.append(
+                device.allocate_result_buffer(
+                    (plan.buffer_size, width), dtype, name=f"gpuResultSet{i}"
+                )
+            )
+        for i in range(n_workers):
+            pinned_bufs.append(device.alloc_pinned((plan.buffer_size, width), dtype))
         if n_workers == 1:
-            for l in range(n_batches):
-                run_batch(l, 0)
+            worker_loop(0)
         else:
             # one long-lived task per worker so each stream's device
             # buffer and pinned buffer are never shared between threads
-            def worker_loop(w: int) -> None:
-                for l in range(w, n_batches, n_workers):
-                    run_batch(l, w)
-
             with ThreadPoolExecutor(max_workers=n_workers) as pool:
                 futures = [pool.submit(worker_loop, w) for w in range(n_workers)]
                 for f in futures:

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.batching import (
     BatchConfig,
+    RecoveryStats,
     TableBuildStats,
     build_neighbor_table,
 )
@@ -45,7 +46,9 @@ class TimingBreakdown:
     clustering over ``T`` — the blue curve.  The per-phase fields
     (``kernel_s`` …) are *summed across the 3 stream workers*, so they
     can exceed wall-clock when batches overlap — that excess is exactly
-    the overlap the batching scheme wins.
+    the overlap the batching scheme wins.  ``recovery`` carries the
+    robustness layer's accounting (splits, regrows, retries, wasted
+    kernel-seconds) from the table construction.
     """
 
     index_s: float = 0.0
@@ -59,6 +62,8 @@ class TimingBreakdown:
     build_wall_s: float = 0.0
     #: simulated device milliseconds (profiler; not wall clock)
     device_ms: float = 0.0
+    #: overflow/transfer recovery accounting of the build
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
 
     @property
     def gpu_s(self) -> float:
@@ -92,6 +97,11 @@ class DBSCANResult:
     @property
     def n_noise(self) -> int:
         return int((self.labels == NOISE).sum())
+
+    @property
+    def recovery(self) -> RecoveryStats:
+        """Overflow/transfer recovery accounting of the table build."""
+        return self.timings.recovery
 
 
 class HybridDBSCAN:
@@ -161,6 +171,7 @@ class HybridDBSCAN:
             transfer_s=stats.transfer_s,
             table_s=stats.host_copy_s,
             device_ms=self.device.profiler.total_device_ms(),
+            recovery=stats.recovery,
         )
         timings.build_wall_s = time.perf_counter() - t0
         timings.total_s = timings.build_wall_s

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.batching import RecoveryStats
 from repro.core.hybrid_dbscan import HybridDBSCAN
 from repro.core.table_dbscan import NOISE
 from repro.core.variants import Variant, VariantSet
@@ -39,6 +40,8 @@ class VariantOutcome:
     build_s: float
     dbscan_s: float
     labels: Optional[np.ndarray] = None
+    #: overflow/transfer recovery accounting of this variant's build
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
 
 
 @dataclass
@@ -58,6 +61,14 @@ class PipelineResult:
     @property
     def sum_dbscan_s(self) -> float:
         return sum(o.dbscan_s for o in self.outcomes)
+
+    @property
+    def recovery(self) -> RecoveryStats:
+        """Aggregate recovery accounting across every variant's build."""
+        total = RecoveryStats()
+        for o in self.outcomes:
+            total.merge(o.recovery)
+        return total
 
 
 class MultiClusterPipeline:
@@ -122,7 +133,14 @@ class MultiClusterPipeline:
         )
 
     # ------------------------------------------------------------------
-    def _cluster(self, grid, table, variant: Variant, build_s: float) -> VariantOutcome:
+    def _cluster(
+        self,
+        grid,
+        table,
+        variant: Variant,
+        build_s: float,
+        recovery: Optional[RecoveryStats] = None,
+    ) -> VariantOutcome:
         t0 = time.perf_counter()
         labels = self.hybrid.cluster_table(grid, table, variant.minpts)
         dbscan_s = time.perf_counter() - t0
@@ -133,6 +151,7 @@ class MultiClusterPipeline:
             build_s=build_s,
             dbscan_s=dbscan_s,
             labels=labels if self.keep_labels else None,
+            recovery=recovery or RecoveryStats(),
         )
 
     def _run_sequential(
@@ -142,9 +161,11 @@ class MultiClusterPipeline:
         outcomes = []
         for v in variants:
             t0 = time.perf_counter()
-            grid, table, _ = self.hybrid.build_table(points, v.eps)
+            grid, table, timings = self.hybrid.build_table(points, v.eps)
             build_s = time.perf_counter() - t0
-            outcomes.append(self._cluster(grid, table, v, build_s))
+            outcomes.append(
+                self._cluster(grid, table, v, build_s, timings.recovery)
+            )
         return PipelineResult(
             outcomes=outcomes,
             total_s=time.perf_counter() - t_start,
@@ -159,27 +180,61 @@ class MultiClusterPipeline:
         work: queue.Queue = queue.Queue(maxsize=self.queue_depth)
         outcomes: list[Optional[VariantOutcome]] = [None] * len(variants)
         errors: list[BaseException] = []
+        # set on the first producer OR consumer error; every blocking
+        # queue operation polls it, so a dead consumer can never leave
+        # the producer stuck on a full queue (and vice versa)
+        stop = threading.Event()
+
+        def _put(item) -> bool:
+            while not stop.is_set():
+                try:
+                    work.put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
 
         def producer() -> None:
             try:
                 for i, v in enumerate(variants):
+                    if stop.is_set():
+                        return
                     t0 = time.perf_counter()
-                    grid, table, _ = self.hybrid.build_table(points, v.eps)
+                    grid, table, timings = self.hybrid.build_table(points, v.eps)
                     build_s = time.perf_counter() - t0
-                    work.put((i, v, grid, table, build_s))
+                    if not _put((i, v, grid, table, build_s, timings.recovery)):
+                        return
             except BaseException as exc:  # surface in the caller
                 errors.append(exc)
+                stop.set()
             finally:
                 for _ in range(self.n_consumers):
-                    work.put(None)
+                    if not _put(None):
+                        break
 
         def consumer() -> None:
             while True:
-                item = work.get()
+                try:
+                    item = work.get(timeout=0.05)
+                except queue.Empty:
+                    if stop.is_set():
+                        return
+                    continue
                 if item is None:
                     return
-                i, v, grid, table, build_s = item
-                outcomes[i] = self._cluster(grid, table, v, build_s)
+                i, v, grid, table, build_s, recovery = item
+                try:
+                    outcomes[i] = self._cluster(grid, table, v, build_s, recovery)
+                except BaseException as exc:  # propagate, don't deadlock
+                    errors.append(exc)
+                    stop.set()
+                    # drain pending work so the producer unblocks promptly
+                    try:
+                        while True:
+                            work.get_nowait()
+                    except queue.Empty:
+                        pass
+                    return
 
         prod = threading.Thread(target=producer, name="table-producer")
         prod.start()

@@ -24,7 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro._nputil import expand_ranges
-from repro.data.scale import DATASETS, DatasetSpec, get_scale, scaled_size
+from repro.data.scale import DATASETS, DatasetSpec, scaled_size
 from repro.index.grid import GridIndex
 
 __all__ = [

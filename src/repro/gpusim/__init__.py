@@ -16,9 +16,12 @@ Public entry points
     Launch a :class:`~repro.gpusim.launch.Kernel` on a device.
 :func:`~repro.gpusim.thrust.sort_by_key`
     Device-side stable key sort.
+:class:`~repro.gpusim.faults.FaultInjector`
+    Deterministic injection of overflow / OOM / transfer faults.
 """
 
 from repro.gpusim.device import Device, DeviceSpec
+from repro.gpusim.faults import FaultInjector, FaultSpec, TransferError
 from repro.gpusim.memory import (
     DeviceBuffer,
     DeviceMemoryError,
@@ -39,6 +42,9 @@ __all__ = [
     "DeviceMemoryError",
     "PinnedHostBuffer",
     "ResultBufferOverflow",
+    "FaultInjector",
+    "FaultSpec",
+    "TransferError",
     "Kernel",
     "LaunchConfig",
     "launch",

@@ -20,7 +20,7 @@ All returned times are in **milliseconds** of simulated device time.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["KernelCounters", "CostModel", "TransferCost"]
 

@@ -9,12 +9,13 @@ API (`to_device`, `from_device`, `alloc_pinned`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.gpusim.costmodel import CostModel
+from repro.gpusim.faults import FaultInjector
 from repro.gpusim.memory import (
     DeviceBuffer,
     GlobalMemoryPool,
@@ -59,6 +60,7 @@ class Device:
         *,
         cost_model: Optional[CostModel] = None,
         seed: int = 0,
+        faults: Optional[FaultInjector] = None,
     ):
         self.spec = spec or DeviceSpec()
         self.cost = cost_model or self.spec.cost_model()
@@ -67,6 +69,14 @@ class Device:
         self.timeline = Timeline()
         self.default_stream = Stream(self.timeline, name="default")
         self.rng = np.random.default_rng(seed)
+        #: optional fault-injection engine (see :mod:`repro.gpusim.faults`)
+        self.faults = faults
+
+    def check_fault(self, kind: str) -> None:
+        """Give the attached :class:`FaultInjector` (if any) a chance to
+        raise at this point; no-op on healthy devices."""
+        if self.faults is not None:
+            self.faults.check(kind)
 
     # ------------------------------------------------------------------
     # allocation
@@ -80,6 +90,7 @@ class Device:
         fill: Optional[float] = None,
     ) -> DeviceBuffer:
         """Allocate device global memory."""
+        self.check_fault("device_oom")
         return self.memory.allocate(shape, dtype, name=name, fill=fill)
 
     def allocate_result_buffer(
@@ -90,6 +101,7 @@ class Device:
         name: str = "gpuResultSet",
     ) -> ResultBuffer:
         """Allocate an append-only result buffer of ``capacity`` elements."""
+        self.check_fault("device_oom")
         buf = self.memory.allocate(capacity, dtype, name=name, result_buffer=True)
         assert isinstance(buf, ResultBuffer)
         return buf
@@ -115,6 +127,7 @@ class Device:
         pinned: bool = False,
     ) -> DeviceBuffer:
         """Copy a host array into a fresh device buffer."""
+        self.check_fault("transfer")
         host_array = np.ascontiguousarray(host_array)
         buf = self.allocate(host_array.shape, host_array.dtype, name=name)
         buf.data[...] = host_array
@@ -135,6 +148,7 @@ class Device:
         ``out`` may be a slice of a :class:`PinnedHostBuffer`'s array, in
         which case the transfer is charged at the pinned rate.
         """
+        self.check_fault("transfer")
         src = buf.view() if isinstance(buf, ResultBuffer) else (
             buf.data if isinstance(buf, DeviceBuffer) else buf
         )

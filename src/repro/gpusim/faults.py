@@ -1,0 +1,207 @@
+"""Deterministic fault injection for the simulated GPU.
+
+The batching scheme of Section VI exists because result sets can exceed
+device memory — but the *recovery* paths (buffer overflow, device OOM,
+transfer failure) are exactly the ones that never run in a healthy test
+suite.  This module makes them testable: a :class:`FaultInjector`
+attached to a :class:`~repro.gpusim.device.Device` (or passed to
+:func:`~repro.core.batching.build_neighbor_table`) raises the real
+exception types at configurable points:
+
+``"overflow"``
+    :class:`~repro.gpusim.memory.ResultBufferOverflow` after a batch
+    kernel completes — models a result set that outgrew ``b_b``.
+``"device_oom"``
+    :class:`~repro.gpusim.memory.DeviceMemoryError` at device
+    allocation time — models global-memory pressure.
+``"transfer"``
+    :class:`TransferError` during a host↔device copy — models a failed
+    DMA / PCIe transaction.
+
+Injection is deterministic and seedable.  A :class:`FaultSpec` targets
+explicit batch indices (exact, reproducible) and/or fires with a
+probability drawn from a per-spec ``numpy`` generator seeded from the
+injector seed, and is bounded by ``times`` so a recovered-and-retried
+batch does not re-fail forever.  Batch targeting uses a thread-local
+batch scope set by the batching workers (:meth:`FaultInjector.batch`),
+so device-level hooks (allocation, transfers) see the batch index of
+the worker that triggered them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.gpusim.memory import DeviceMemoryError, ResultBufferOverflow
+
+__all__ = ["FAULT_KINDS", "TransferError", "FaultSpec", "FaultInjector"]
+
+FAULT_KINDS = ("overflow", "device_oom", "transfer")
+
+
+class TransferError(RuntimeError):
+    """Raised when a (simulated) host↔device transfer fails."""
+
+
+_EXCEPTIONS = {
+    "overflow": ResultBufferOverflow,
+    "device_oom": DeviceMemoryError,
+    "transfer": TransferError,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    batch_indices:
+        Only fire inside the batch scope of these batch indices; ``None``
+        matches any event of the kind (including events outside any
+        batch scope).
+    probability:
+        Bernoulli firing probability per matching event (default 1.0 —
+        fire deterministically whenever the targeting matches).
+    times:
+        Maximum number of firings (default 1); ``None`` is unlimited.
+        A bounded spec lets recovery succeed on retry instead of
+        failing the same batch forever.
+    """
+
+    kind: str
+    batch_indices: Optional[frozenset] = None
+    probability: float = 1.0
+    times: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (or None for unlimited)")
+        if self.batch_indices is not None:
+            object.__setattr__(
+                self, "batch_indices", frozenset(int(b) for b in self.batch_indices)
+            )
+
+
+class FaultInjector:
+    """Seedable, thread-safe fault-injection engine.
+
+    With only index-targeted specs, injection is fully deterministic.
+    Probability-based specs draw from per-spec generators seeded from
+    ``seed``, so a fixed single-threaded event sequence replays
+    identically; under concurrent workers the *draw sequence* depends on
+    thread interleaving (target batch indices for exact reproducibility).
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), *, seed: int = 0):
+        self.specs = list(specs)
+        self.seed = int(seed)
+        self._rngs = [
+            np.random.default_rng((self.seed, i)) for i in range(len(self.specs))
+        ]
+        self._fired = [0] * len(self.specs)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: firings per kind (observability for tests and stats)
+        self.injected: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def overflow_at(
+        cls, *batches: int, times: int = 1, seed: int = 0
+    ) -> "FaultInjector":
+        """Overflow exactly at the given batch indices (``times`` per spec)."""
+        return cls(
+            [FaultSpec("overflow", frozenset(batches), times=times)], seed=seed
+        )
+
+    @classmethod
+    def transfer_at(
+        cls, *batches: int, times: int = 1, seed: int = 0
+    ) -> "FaultInjector":
+        """Fail the staging transfer of the given batch indices."""
+        return cls(
+            [FaultSpec("transfer", frozenset(batches), times=times)], seed=seed
+        )
+
+    @classmethod
+    def oom_at(cls, *batches: int, times: int = 1, seed: int = 0) -> "FaultInjector":
+        """Fail device allocations made inside the given batch scopes."""
+        return cls(
+            [FaultSpec("device_oom", frozenset(batches), times=times)], seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    # batch scoping
+    # ------------------------------------------------------------------
+    @contextmanager
+    def batch(self, index: int) -> Iterator[None]:
+        """Scope subsequent checks on this thread to batch ``index``."""
+        prev = getattr(self._local, "batch", None)
+        self._local.batch = int(index)
+        try:
+            yield
+        finally:
+            self._local.batch = prev
+
+    @property
+    def current_batch(self) -> Optional[int]:
+        return getattr(self._local, "batch", None)
+
+    # ------------------------------------------------------------------
+    # the hook
+    # ------------------------------------------------------------------
+    def check(self, kind: str, *, batch: Optional[int] = None) -> None:
+        """Raise the mapped exception if any spec of ``kind`` fires.
+
+        ``batch`` defaults to the thread's current batch scope.
+        """
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        b = batch if batch is not None else self.current_batch
+        for i, spec in enumerate(self.specs):
+            if spec.kind != kind:
+                continue
+            if spec.batch_indices is not None and (
+                b is None or b not in spec.batch_indices
+            ):
+                continue
+            with self._lock:
+                if spec.times is not None and self._fired[i] >= spec.times:
+                    continue
+                if spec.probability < 1.0:
+                    if not (self._rngs[i].random() < spec.probability):
+                        continue
+                self._fired[i] += 1
+                self.injected[kind] += 1
+            where = f" (batch {b})" if b is not None else ""
+            raise _EXCEPTIONS[kind](f"injected {kind} fault{where}")
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def reset(self) -> None:
+        """Forget firing history (keeps specs and reseeds generators)."""
+        with self._lock:
+            self._fired = [0] * len(self.specs)
+            self._rngs = [
+                np.random.default_rng((self.seed, i)) for i in range(len(self.specs))
+            ]
+            self.injected.clear()

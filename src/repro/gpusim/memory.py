@@ -106,7 +106,9 @@ class ResultBuffer(DeviceBuffer):
         return self._cursor
 
     def reset(self) -> None:
-        self._cursor = 0
+        """Rewind the cursor; serialized against concurrent ``reserve``."""
+        with self._lock:
+            self._cursor = 0
 
     def reserve(self, n: int) -> int:
         """Atomically reserve ``n`` slots; return the starting offset."""

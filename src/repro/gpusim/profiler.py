@@ -8,7 +8,7 @@ same quantities for every kernel launch, transfer, and device sort.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.gpusim.costmodel import KernelCounters

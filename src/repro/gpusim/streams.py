@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass, field
-from typing import Iterable, Literal
+from dataclasses import dataclass
+from typing import Literal
 
 __all__ = ["Engine", "Stream", "Event", "TimelineOp", "Timeline"]
 

@@ -9,7 +9,6 @@ supports stream placement — the Thrust execution-policy analogue.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np

@@ -16,7 +16,7 @@ not just the makespan.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 __all__ = ["Schedule", "PipelineSchedule", "schedule_parallel", "schedule_pipeline"]

@@ -18,7 +18,7 @@ in its own cell plus the 8 adjacent cells.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -19,7 +19,7 @@ scalar nature of the paper's CPU baseline.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -75,11 +75,16 @@ class GPUCalcGlobal(Kernel):
         batch: int = 0,
         n_batches: int = 1,
         emit_distance: bool = False,
+        point_mask: np.ndarray = None,
     ) -> None:
         gid = ctx.global_id
         pid = gid * n_batches + batch
         n_points = len(D)
         if pid >= n_points:
+            ctx.count_divergent()
+            return
+        # recovery sub-units narrow a batch to a masked subset of its points
+        if point_mask is not None and not point_mask[pid]:
             ctx.count_divergent()
             return
         px, py = D[pid]
@@ -127,16 +132,22 @@ class GPUCalcGlobal(Kernel):
         n_batches: int = 1,
         batch_order: str = "strided",
         emit_distance: bool = False,
+        point_mask: np.ndarray = None,
     ) -> int:
         """Whole-batch NumPy evaluation; returns the number of pairs
         appended to ``result``.
 
         With ``emit_distance`` the result rows are ``(key, value,
         dist)`` in a float64 buffer — the annotated-table extension
-        that enables multi-ε reuse and OPTICS.
+        that enables multi-ε reuse and OPTICS.  ``point_mask`` (a bool
+        array over all points) narrows the batch to a subset — the
+        overflow-recovery path re-runs a failed batch as split halves.
         """
         pts = grid.points
-        ids = batch_point_ids(len(pts), batch, n_batches, batch_order)
+        if point_mask is not None:
+            ids = np.flatnonzero(point_mask).astype(np.int64)
+        else:
+            ids = batch_point_ids(len(pts), batch, n_batches, batch_order)
         if config.total_threads < len(ids):
             raise ValueError(
                 f"launch too small: {config.total_threads} threads for "

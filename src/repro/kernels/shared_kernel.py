@@ -54,6 +54,7 @@ class GPUCalcShared(Kernel):
         result: ResultBuffer,
         batch: int = 0,
         n_batches: int = 1,
+        point_mask: np.ndarray = None,
     ):
         if ctx.block_idx >= len(S):
             return
@@ -92,8 +93,13 @@ class GPUCalcShared(Kernel):
             has_origin = my_o < n_origin
             if has_origin:
                 data_id = A[o_lo + my_o]
-                # batching: only origin points of this batch emit results
-                if data_id % n_batches != batch:
+                # batching: only origin points of this batch emit results;
+                # a recovery sub-unit narrows the batch via point_mask
+                if point_mask is not None:
+                    in_batch = bool(point_mask[data_id])
+                else:
+                    in_batch = data_id % n_batches == batch
+                if not in_batch:
                     has_origin = False
                 else:
                     pnts_origin[tid] = D[data_id]
@@ -144,12 +150,14 @@ class GPUCalcShared(Kernel):
         batch: int = 0,
         n_batches: int = 1,
         batch_order: str = "strided",
+        point_mask: np.ndarray = None,
     ) -> int:
         """Block-per-cell evaluation; returns pairs appended.
 
         The Python loop runs once per non-empty cell — exactly the
         block-level work decomposition of the kernel — with each block's
-        distance phase vectorized.
+        distance phase vectorized.  ``point_mask`` narrows the batch to
+        a subset of origin points (the overflow-recovery split path).
         """
         bs = config.block_dim
         cells = grid.nonempty_cells
@@ -165,7 +173,9 @@ class GPUCalcShared(Kernel):
 
         for h in cells:
             origin_all = grid.cell_point_ids(int(h))
-            if n_batches > 1:
+            if point_mask is not None:
+                origin = origin_all[point_mask[origin_all]]
+            elif n_batches > 1:
                 if batch_order == "strided":
                     origin = origin_all[origin_all % n_batches == batch]
                 else:

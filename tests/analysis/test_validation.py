@@ -1,6 +1,5 @@
 """Tests for the hybrid-vs-reference validation harness."""
 
-import numpy as np
 
 from repro.analysis import validate_hybrid
 from repro.core import HybridDBSCAN

@@ -1,7 +1,6 @@
 """Tests for the G-DBSCAN-style baseline."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.metrics import same_clustering
 from repro.baseline import gdbscan, sequential_dbscan

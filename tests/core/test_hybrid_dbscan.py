@@ -1,7 +1,6 @@
 """Tests for HYBRID-DBSCAN (Algorithm 4) end to end."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,5 +1,7 @@
 """Tests for the S2 multi-clustering pipeline."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -68,3 +70,32 @@ class TestConfiguration:
         for mode in ("simulate", "threads"):
             with pytest.raises(ValueError):
                 MultiClusterPipeline().run(bad_points, variants, mode=mode)
+
+    def test_consumer_error_propagates_without_deadlock(self, blobs_points):
+        """Regression: a consumer that raised used to leave the producer
+        blocked forever on the bounded work queue."""
+        variants = VariantSet.eps_sweep(
+            [0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55], minpts=4
+        )
+        pipe = MultiClusterPipeline(n_consumers=2, queue_depth=1)
+
+        def boom(*a, **kw):
+            raise RuntimeError("injected consumer failure")
+
+        pipe.hybrid.cluster_table = boom
+        caught: list[BaseException] = []
+
+        def run():
+            try:
+                pipe.run(blobs_points, variants, pipelined=True, mode="threads")
+            except BaseException as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=run, daemon=True)
+        t.start()
+        t.join(timeout=30)
+        if t.is_alive():
+            pytest.fail("pipeline deadlocked after consumer exception")
+        assert len(caught) == 1
+        assert isinstance(caught[0], RuntimeError)
+        assert "injected consumer failure" in str(caught[0])

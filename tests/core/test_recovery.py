@@ -1,0 +1,247 @@
+"""Per-batch overflow recovery: acceptance, accounting, and properties."""
+
+import itertools
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BatchConfig, BatchPlanner
+from repro.core.batching import build_neighbor_table
+from repro.gpusim import Device, FaultInjector, FaultSpec, TransferError
+from repro.gpusim.memory import ResultBufferOverflow
+from repro.index import GridIndex
+
+N_BATCHES = 8
+BUFFER = 800
+
+
+def _points():
+    rng = np.random.default_rng(42)
+    return rng.random((400, 2)) * 6.0
+
+
+def _grid():
+    return GridIndex.build(_points(), 0.4)
+
+
+def _cfg(**overrides):
+    params = dict(
+        static_threshold=1,
+        static_buffer_size=BUFFER,
+        min_buffer_size=128,
+        alpha=0.0,
+    )
+    params.update(overrides)
+    return BatchConfig(**params)
+
+
+def _plan(cfg, n_batches=N_BATCHES):
+    return BatchPlanner(cfg).plan_from_estimate(eb=1, ab=n_batches * BUFFER)
+
+
+def _neighbors(table):
+    return [sorted(table.neighbors(i).tolist()) for i in range(table.n_points)]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Fault-free build of the shared scenario (and its plan shape)."""
+    cfg = _cfg()
+    plan = _plan(cfg)
+    assert plan.n_batches == N_BATCHES
+    table, stats = build_neighbor_table(_grid(), Device(), config=cfg, plan=plan)
+    assert stats.recovery.recoveries == 0
+    return _neighbors(table)
+
+
+class TestAcceptance:
+    """ISSUE acceptance: 1 fault in >= 6 batches -> completed batches
+    kept, identical table, exactly one recovery action."""
+
+    def test_single_fault_recovers_without_restart(self, reference):
+        cfg = _cfg()
+        plan = _plan(cfg)
+        faults = FaultInjector.overflow_at(3)
+        table, stats = build_neighbor_table(
+            _grid(), Device(), config=cfg, plan=plan, faults=faults
+        )
+        assert faults.total_injected == 1
+        # completed batches were kept: only the failed batch re-ran,
+        # as two split halves
+        assert stats.n_batches_run == plan.n_batches + 1
+        assert stats.recovery.splits + stats.recovery.regrows == 1
+        assert stats.recovery.restarts == 0
+        assert stats.recovery.wasted_kernel_s > 0
+        assert _neighbors(table) == reference
+
+    def test_regrow_strategy_single_fault(self, reference):
+        cfg = _cfg(recovery="regrow")
+        plan = _plan(cfg)
+        table, stats = build_neighbor_table(
+            _grid(), Device(), config=cfg, plan=plan,
+            faults=FaultInjector.overflow_at(3),
+        )
+        # a regrown batch re-runs whole: no extra unit appears
+        assert stats.n_batches_run == plan.n_batches
+        assert stats.recovery.regrows == 1
+        assert stats.recovery.splits == 0
+        assert stats.recovery.restarts == 0
+        assert _neighbors(table) == reference
+
+    def test_injector_attached_to_device_is_used(self, reference):
+        cfg = _cfg()
+        plan = _plan(cfg)
+        device = Device(faults=FaultInjector.overflow_at(2))
+        table, stats = build_neighbor_table(
+            _grid(), device, config=cfg, plan=plan
+        )
+        assert stats.recovery.recoveries == 1
+        assert _neighbors(table) == reference
+
+    def test_transfer_fault_retried(self, reference):
+        cfg = _cfg()
+        plan = _plan(cfg)
+        table, stats = build_neighbor_table(
+            _grid(), Device(), config=cfg, plan=plan,
+            faults=FaultInjector.transfer_at(1),
+        )
+        assert stats.recovery.transfer_retries == 1
+        assert stats.recovery.splits == stats.recovery.regrows == 0
+        assert _neighbors(table) == reference
+
+    def test_transfer_retries_bounded(self):
+        cfg = _cfg(max_transfer_retries=2)
+        plan = _plan(cfg)
+        faults = FaultInjector(
+            [FaultSpec("transfer", frozenset({1}), times=None)]
+        )
+        with pytest.raises(TransferError):
+            build_neighbor_table(
+                _grid(), Device(), config=cfg, plan=plan, faults=faults
+            )
+
+
+class TestRegrowBounds:
+    def test_regrow_respects_free_bytes(self):
+        """A pool too small to double the buffer refuses the regrow and
+        the overflow surfaces instead of OOM-ing the device."""
+        from repro.gpusim import DeviceSpec
+
+        pts = np.ones((500, 2))  # every point has 500 neighbors > buffer
+        grid = GridIndex.build(pts, 0.5)
+        cfg = BatchConfig(
+            static_threshold=1, static_buffer_size=400, min_buffer_size=400,
+            alpha=0.0, n_streams=1, recovery="regrow",
+        )
+        plan = BatchPlanner(cfg).plan_from_estimate(eb=1, ab=400)
+        # 10 KB pool: the (400, 2) int64 buffer (6400 B) fits, the
+        # doubled one (12800 B) exceeds free + freed-old bytes
+        small = Device(DeviceSpec(global_mem_bytes=10 * 1024))
+        used_before = small.memory.used_bytes
+        with pytest.raises(ResultBufferOverflow):
+            build_neighbor_table(grid, small, config=cfg, plan=plan)
+        assert small.memory.used_bytes == used_before
+
+    def test_regrow_depth_bounded(self):
+        """max_recovery_depth caps how often one unit may regrow."""
+        pts = np.ones((500, 2))
+        grid = GridIndex.build(pts, 0.5)
+        cfg = BatchConfig(
+            static_threshold=1, static_buffer_size=128, min_buffer_size=128,
+            alpha=0.0, n_streams=1, recovery="regrow", max_recovery_depth=1,
+        )
+        plan = BatchPlanner(cfg).plan_from_estimate(eb=1, ab=128)
+        with pytest.raises(ResultBufferOverflow):
+            build_neighbor_table(grid, Device(), config=cfg, plan=plan)
+
+
+class TestStatsReset:
+    def test_failed_restart_attempts_excluded_from_phase_stats(
+        self, monkeypatch
+    ):
+        """Regression: phase seconds used to accumulate across failed
+        restart attempts.  With a fake clock ticking +1 per reading,
+        every successful batch contributes exactly 1 to ``kernel_s``, so
+        the total must equal the successful attempt's batch count."""
+        import repro.core.batching as batching
+
+        ticks = itertools.count()
+        monkeypatch.setattr(
+            batching, "time", SimpleNamespace(perf_counter=lambda: next(ticks))
+        )
+        cfg = _cfg(n_streams=1, recovery="restart")
+        plan = _plan(cfg, n_batches=4)
+        # batches 0 and 1 complete, batch 2 fails -> attempt discarded,
+        # restart with 8 batches succeeds
+        table, stats = build_neighbor_table(
+            _grid(), Device(), config=cfg, plan=plan,
+            faults=FaultInjector.overflow_at(2),
+        )
+        assert stats.recovery.restarts == 1
+        assert stats.n_batches_run == 8
+        assert stats.kernel_s == stats.n_batches_run
+        assert stats.sort_s == stats.n_batches_run
+        assert stats.transfer_s == stats.n_batches_run
+        assert stats.host_copy_s == stats.n_batches_run
+        # the discarded attempt: 2 completed batches x 3 timed phases,
+        # plus 1 tick inside the failed unit
+        assert stats.recovery.wasted_kernel_s == 7
+        assert _neighbors(table) == [
+            sorted(table.neighbors(i).tolist()) for i in range(table.n_points)
+        ]
+
+
+FAULT_KINDS = st.sampled_from(["overflow", "transfer"])
+STRATEGIES = st.sampled_from(["auto", "split", "regrow", "restart"])
+
+
+class TestRecoveryProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(min_value=0, max_value=N_BATCHES - 1),
+        kind=FAULT_KINDS,
+        strategy=STRATEGIES,
+        times=st.integers(min_value=1, max_value=2),
+    )
+    def test_recovered_table_equals_fault_free(
+        self, reference, batch, kind, strategy, times
+    ):
+        """Whatever single fault is injected and whichever strategy
+        recovers it, the final table is the fault-free table."""
+        cfg = _cfg(recovery=strategy)
+        plan = _plan(cfg)
+        if kind == "transfer" and times > cfg.max_transfer_retries:
+            times = cfg.max_transfer_retries
+        faults = FaultInjector(
+            [FaultSpec(kind, frozenset({batch}), times=times)]
+        )
+        table, stats = build_neighbor_table(
+            _grid(), Device(), config=cfg, plan=plan, faults=faults
+        )
+        assert faults.total_injected >= 1
+        assert stats.recovery.recoveries >= 1
+        assert _neighbors(table) == reference
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        batches=st.sets(
+            st.integers(min_value=0, max_value=N_BATCHES - 1),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    def test_multiple_faulted_batches_recover(self, reference, batches):
+        cfg = _cfg()
+        plan = _plan(cfg)
+        faults = FaultInjector(
+            [FaultSpec("overflow", frozenset(batches), times=len(batches))]
+        )
+        table, stats = build_neighbor_table(
+            _grid(), Device(), config=cfg, plan=plan, faults=faults
+        )
+        assert stats.recovery.restarts == 0
+        assert stats.recovery.recoveries >= 1
+        assert _neighbors(table) == reference

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.metrics import dbscan_equivalent, same_clustering
-from repro.core import NOISE, NeighborTable
+from repro.core import NOISE
 from repro.core.batching import build_neighbor_table
 from repro.core.table_dbscan import (
     canonicalize_labels,

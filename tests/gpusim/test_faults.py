@@ -1,0 +1,166 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    Device,
+    DeviceMemoryError,
+    FaultInjector,
+    FaultSpec,
+    TransferError,
+)
+from repro.gpusim.memory import ResultBufferOverflow
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("cosmic_ray")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec("overflow", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("overflow", probability=-0.1)
+
+    def test_times_bound(self):
+        with pytest.raises(ValueError):
+            FaultSpec("overflow", times=0)
+        FaultSpec("overflow", times=None)  # unlimited is legal
+
+    def test_batch_indices_normalised(self):
+        spec = FaultSpec("overflow", [np.int64(3), 5])
+        assert spec.batch_indices == frozenset({3, 5})
+
+
+class TestTargeting:
+    def test_fires_only_in_matching_batch_scope(self):
+        inj = FaultInjector.overflow_at(2)
+        inj.check("overflow")  # no scope -> no fire
+        with inj.batch(1):
+            inj.check("overflow")
+        with inj.batch(2):
+            with pytest.raises(ResultBufferOverflow):
+                inj.check("overflow")
+
+    def test_untargeted_spec_matches_everywhere(self):
+        inj = FaultInjector([FaultSpec("transfer", times=None)])
+        with pytest.raises(TransferError):
+            inj.check("transfer")
+        with inj.batch(7):
+            with pytest.raises(TransferError):
+                inj.check("transfer")
+
+    def test_times_bounds_firings(self):
+        inj = FaultInjector([FaultSpec("overflow", times=2)])
+        for _ in range(2):
+            with pytest.raises(ResultBufferOverflow):
+                inj.check("overflow")
+        inj.check("overflow")  # exhausted: silent
+        assert inj.injected["overflow"] == 2
+        assert inj.total_injected == 2
+
+    def test_kind_mismatch_never_fires(self):
+        inj = FaultInjector.overflow_at(0)
+        with inj.batch(0):
+            inj.check("transfer")
+            inj.check("device_oom")
+
+    def test_unknown_kind_in_check_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().check("bitflip")
+
+    def test_batch_scope_nests_and_restores(self):
+        inj = FaultInjector()
+        assert inj.current_batch is None
+        with inj.batch(1):
+            with inj.batch(2):
+                assert inj.current_batch == 2
+            assert inj.current_batch == 1
+        assert inj.current_batch is None
+
+
+class TestDeterminism:
+    def _draw_sequence(self, seed):
+        inj = FaultInjector(
+            [FaultSpec("overflow", probability=0.5, times=None)], seed=seed
+        )
+        fired = []
+        for _ in range(64):
+            try:
+                inj.check("overflow")
+                fired.append(False)
+            except ResultBufferOverflow:
+                fired.append(True)
+        return fired
+
+    def test_same_seed_replays_identically(self):
+        assert self._draw_sequence(7) == self._draw_sequence(7)
+
+    def test_different_seed_differs(self):
+        assert self._draw_sequence(7) != self._draw_sequence(8)
+
+    def test_probabilistic_rate_plausible(self):
+        fired = self._draw_sequence(0)
+        assert 10 <= sum(fired) <= 54  # p=0.5 over 64 draws
+
+    def test_reset_replays_from_scratch(self):
+        inj = FaultInjector(
+            [FaultSpec("overflow", probability=0.5, times=None)], seed=3
+        )
+
+        def run():
+            out = []
+            for _ in range(32):
+                try:
+                    inj.check("overflow")
+                    out.append(False)
+                except ResultBufferOverflow:
+                    out.append(True)
+            return out
+
+        first = run()
+        inj.reset()
+        assert inj.total_injected == 0
+        assert run() == first
+
+
+class TestDeviceHooks:
+    def test_transfer_fault_on_to_device(self):
+        dev = Device(faults=FaultInjector([FaultSpec("transfer")]))
+        with pytest.raises(TransferError):
+            dev.to_device(np.zeros(8))
+
+    def test_transfer_fault_on_from_device(self):
+        dev = Device()
+        buf = dev.to_device(np.zeros(8))
+        dev.faults = FaultInjector([FaultSpec("transfer")])
+        with pytest.raises(TransferError):
+            dev.from_device(buf)
+
+    def test_oom_fault_on_allocate(self):
+        dev = Device(faults=FaultInjector([FaultSpec("device_oom")]))
+        with pytest.raises(DeviceMemoryError):
+            dev.allocate(1024)
+
+    def test_oom_fault_on_result_buffer(self):
+        dev = Device(faults=FaultInjector([FaultSpec("device_oom")]))
+        with pytest.raises(DeviceMemoryError):
+            dev.allocate_result_buffer(128, np.int64)
+
+    def test_batch_scoped_device_fault(self):
+        inj = FaultInjector.transfer_at(1)
+        dev = Device(faults=inj)
+        dev.to_device(np.zeros(4))  # outside scope: fine
+        with inj.batch(0):
+            dev.to_device(np.zeros(4))  # wrong batch: fine
+        with inj.batch(1):
+            with pytest.raises(TransferError):
+                dev.to_device(np.zeros(4))
+
+    def test_faultless_device_unaffected(self):
+        dev = Device()
+        dev.check_fault("overflow")  # no injector: no-op
+        buf = dev.to_device(np.arange(4.0))
+        assert np.array_equal(dev.from_device(buf), np.arange(4.0))

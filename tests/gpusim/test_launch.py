@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.gpusim import Kernel, LaunchConfig, launch
-from repro.gpusim.costmodel import KernelCounters
 
 
 class AddOne(Kernel):

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.gpusim import Device, DeviceMemoryError, DeviceSpec, ResultBufferOverflow
-from repro.gpusim.memory import GlobalMemoryPool, ResultBuffer
+from repro.gpusim import DeviceMemoryError, DeviceSpec, ResultBufferOverflow
+from repro.gpusim.memory import GlobalMemoryPool
 
 
 class TestGlobalMemoryPool:

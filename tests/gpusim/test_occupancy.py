@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gpusim import Device
-from repro.gpusim.occupancy import Occupancy, OccupancyLimits, occupancy
+from repro.gpusim.occupancy import OccupancyLimits, occupancy
 
 
 class TestBounds:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.gpusim import Device, launch
+from repro.gpusim import launch
 from repro.index import BruteForceIndex, GridIndex
 from repro.kernels import NeighborCountKernel
 from repro.kernels.count_kernel import sample_point_ids

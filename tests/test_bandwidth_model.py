@@ -1,6 +1,5 @@
 """Tests for the host-GPU bandwidth performance model (future work)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,7 +2,6 @@
 
 import importlib.util
 import json
-import sys
 from pathlib import Path
 
 import pytest

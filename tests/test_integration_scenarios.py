@@ -6,7 +6,6 @@ sequential reference throughout — the "does the whole system hold
 together" layer above the per-module tests.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import validate_hybrid

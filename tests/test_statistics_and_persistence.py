@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.statistics import summarize_clustering
-from repro.bench import Series, SeriesSet
+from repro.bench import SeriesSet
 from repro.bench.asciiplot import render_ascii
 from repro.core import HybridDBSCAN, NeighborTable
 from repro.core.table_dbscan import dbscan_from_table_components
