@@ -36,7 +36,7 @@ def test_ablation_multi_eps(benchmark):
         sweep = cluster_eps_sweep(pts, eps_grid, MINPTS, n_threads=1)
 
         # identical clustering structure per eps
-        for a, b in zip(per_eps.outcomes, sweep.outcomes):
+        for a, b in zip(per_eps.outcomes, sweep.outcomes, strict=True):
             assert a.n_clusters == b.n_clusters, (name, a.variant.eps)
             assert a.n_noise == b.n_noise
 

@@ -51,7 +51,7 @@ def test_fig3_response_vs_eps(benchmark):
         panels[name] = ss
 
         # paper's claim: hybrid beats the reference at every ε
-        for x, y_tot in zip(s_tot.x, s_tot.y):
+        for x, y_tot in zip(s_tot.x, s_tot.y, strict=True):
             y_ref = s_ref.y[s_ref.x.index(x)]
             assert y_tot < y_ref, (name, x, y_tot, y_ref)
 
@@ -65,7 +65,7 @@ def test_fig3_response_vs_eps(benchmark):
 
     from repro.bench.asciiplot import render_ascii
 
-    for name, ss in panels.items():
+    for ss in panels.values():
         report(ss.format())
         report(render_ascii(ss, logy=True))
     save_json(

@@ -66,7 +66,7 @@ def test_fig5_reuse_threads(benchmark):
         iterations=1,
     )
 
-    for name, ss in panels.items():
+    for ss in panels.values():
         report(ss.format())
     save_json(
         "fig5_reuse_threads",

@@ -1,5 +1,6 @@
-"""Clustering comparison and validation utilities."""
+"""Clustering comparison, validation, and static-analysis utilities."""
 
+from repro.analysis.lint import LintFinding, lint_source, run_lint
 from repro.analysis.metrics import (
     adjusted_rand_index,
     cluster_sizes,
@@ -17,4 +18,7 @@ __all__ = [
     "noise_fraction",
     "validate_hybrid",
     "ValidationReport",
+    "LintFinding",
+    "lint_source",
+    "run_lint",
 ]

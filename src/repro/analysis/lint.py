@@ -1,0 +1,286 @@
+"""Repo-invariant AST lint for the simulated-GPU codebase.
+
+The gpusanitizer (:mod:`repro.gpusim.sanitizer`) catches violations at
+*runtime*; this module statically enforces the coding invariants that
+keep the simulation honest.  Three rules:
+
+``GS001`` — device memory is opaque to host code
+    Host code outside ``gpusim/`` and ``kernels/`` must not touch
+    ``DeviceBuffer.data`` directly; data moves through the device's
+    transfer engine (``to_device`` / ``from_device``) so the cost model
+    sees every byte.  Names are tracked through assignments from
+    ``allocate`` / ``allocate_result_buffer`` / ``alloc_pinned`` /
+    ``to_device`` calls and through ``DeviceBuffer`` / ``ResultBuffer``
+    / ``PinnedHostBuffer`` annotations.
+
+``GS002`` — no wall clocks inside the simulator
+    ``time.time()`` and ``datetime.now()/utcnow()/today()`` inside
+    ``gpusim/`` would leak host wall-clock into simulated timestamps;
+    monotonic ``time.perf_counter`` (kernel wall-time metering) is
+    allowed.
+
+``GS003`` — locks are scoped
+    Bare ``.acquire()`` on lock-like names (``lock``, ``_lock``,
+    ``mutex``, ...) is an unwind hazard — a raised exception between
+    ``acquire`` and ``release`` deadlocks the stream workers.  Use
+    ``with lock:``.
+
+Run as ``python -m repro.analysis.lint src`` (exit code 1 on findings);
+CI runs it next to the ``GPUSAN=1`` test job.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = ["LintFinding", "lint_source", "run_lint", "main"]
+
+#: directories whose code legitimately touches DeviceBuffer internals
+DEVICE_LAYER_DIRS = ("gpusim", "kernels")
+
+#: factory call names whose result is a device-side buffer
+_BUFFER_FACTORIES = {
+    "allocate",
+    "allocate_result_buffer",
+    "alloc_pinned",
+    "to_device",
+}
+
+#: annotations marking a parameter/variable as a device-side buffer
+_BUFFER_TYPES = {"DeviceBuffer", "ResultBuffer", "PinnedHostBuffer"}
+
+#: wall-clock calls disallowed inside the simulator
+_WALL_CLOCKS = {
+    ("time", "time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+#: variable-name fragments treated as locks for GS003
+_LOCKISH = ("lock", "mutex", "sem", "semaphore", "condition")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _annotation_name(node: Optional[ast.expr]) -> Optional[str]:
+    """Terminal name of an annotation (handles Optional[X], "X", a.b.X)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[-1].split("[")[0].strip()
+    if isinstance(node, ast.Subscript):
+        # Optional[DeviceBuffer], Union[DeviceBuffer, ...] — scan inside
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in _BUFFER_TYPES:
+                return sub.id
+            if isinstance(sub, ast.Attribute) and sub.attr in _BUFFER_TYPES:
+                return sub.attr
+    return None
+
+
+def _call_func_name(call: ast.Call) -> Optional[str]:
+    f = call.func
+    if isinstance(f, ast.Name):
+        return f.id
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-file linter; ``in_device_layer`` relaxes GS001/tightens GS002."""
+
+    def __init__(self, path: str, *, in_device_layer: bool):
+        self.path = path
+        self.in_device_layer = in_device_layer
+        self.findings: list[LintFinding] = []
+        #: names known to hold device-side buffers (module-wide — scope
+        #: precision is not worth the complexity for a repo invariant)
+        self.buffer_names: set[str] = set()
+
+    # -- bookkeeping: which names hold device buffers -------------------
+    def _note_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.buffer_names.add(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Call):
+            fn = _call_func_name(node.value)
+            if fn in _BUFFER_FACTORIES:
+                for t in node.targets:
+                    self._note_target(t)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if _annotation_name(node.annotation) in _BUFFER_TYPES:
+            self._note_target(node.target)
+        elif isinstance(node.value, ast.Call):
+            if _call_func_name(node.value) in _BUFFER_FACTORIES:
+                self._note_target(node.target)
+        self.generic_visit(node)
+
+    def _note_args(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for a in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            args.vararg,
+            args.kwarg,
+        ]:
+            if a is not None and _annotation_name(a.annotation) in _BUFFER_TYPES:
+                self.buffer_names.add(a.arg)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._note_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._note_args(node)
+        self.generic_visit(node)
+
+    # -- GS001 / GS002 / GS003 ------------------------------------------
+    def _finding(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            LintFinding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            not self.in_device_layer
+            and node.attr == "data"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.buffer_names
+        ):
+            self._finding(
+                "GS001",
+                node,
+                f"host code reaches into device buffer "
+                f"'{node.value.id}.data'; move bytes with "
+                f"to_device/from_device so the cost model sees them",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = node.func
+        if self.in_device_layer and isinstance(fn, ast.Attribute):
+            base = fn.value
+            if (
+                isinstance(base, ast.Name)
+                and (base.id, fn.attr) in _WALL_CLOCKS
+            ):
+                self._finding(
+                    "GS002",
+                    node,
+                    f"wall-clock '{base.id}.{fn.attr}()' inside the "
+                    f"simulator; simulated time comes from the cost "
+                    f"model (use time.perf_counter for host metering)",
+                )
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "acquire"
+            and self._lockish(fn.value)
+        ):
+            self._finding(
+                "GS003",
+                node,
+                "bare lock acquire(); use 'with <lock>:' so unwinding "
+                "releases it",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _lockish(node: ast.expr) -> bool:
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            return False
+        low = name.lower()
+        return any(frag in low for frag in _LOCKISH)
+
+
+def _is_device_layer(path: Path) -> bool:
+    return any(part in DEVICE_LAYER_DIRS for part in path.parts)
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, in_device_layer: bool = False
+) -> list[LintFinding]:
+    """Lint one source string; ``path`` is used for reporting only."""
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, in_device_layer=in_device_layer)
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.line, f.col))
+
+
+def run_lint(paths: Iterable[str]) -> list[LintFinding]:
+    """Lint every ``*.py`` under the given files/directories."""
+    findings: list[LintFinding] = []
+    for root in paths:
+        rootp = Path(root)
+        files = sorted(rootp.rglob("*.py")) if rootp.is_dir() else [rootp]
+        for f in files:
+            findings.extend(
+                lint_source(
+                    f.read_text(encoding="utf-8"),
+                    str(f),
+                    in_device_layer=_is_device_layer(f),
+                )
+            )
+    return findings
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    targets = args or ["src"]
+    findings = run_lint(targets)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"gpulint: {len(findings)} finding(s)")
+        return 1
+    print("gpulint: clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

@@ -70,7 +70,7 @@ def dbscan_equivalent(
 
     def raw_to_canon(raw: np.ndarray, canon: np.ndarray) -> dict[int, int]:
         core_ids = np.flatnonzero(core)
-        return dict(zip(raw[core_ids].tolist(), canon[core_ids].tolist()))
+        return dict(zip(raw[core_ids].tolist(), canon[core_ids].tolist(), strict=True))
 
     map_a = raw_to_canon(a, a_can)
     map_b = raw_to_canon(b, b_can)

@@ -21,7 +21,7 @@ def render_ascii(
     panel: SeriesSet, *, width: int = 70, height: int = 16, logy: bool = False
 ) -> str:
     """Render a :class:`SeriesSet` as an ASCII chart with a legend."""
-    pts = [(x, y) for s in panel.series for x, y in zip(s.x, s.y)]
+    pts = [(x, y) for s in panel.series for x, y in zip(s.x, s.y, strict=True)]
     if not pts:
         return f"{panel.name}: (empty)"
     xs = [p[0] for p in pts]
@@ -38,7 +38,7 @@ def render_ascii(
     cells = [[" "] * width for _ in range(height)]
     for idx, s in enumerate(panel.series):
         mark = _MARKS[idx % len(_MARKS)]
-        for x, y in zip(s.x, s.y):
+        for x, y in zip(s.x, s.y, strict=True):
             yy = math.log10(y) if logy else y
             col = min(width - 1, int((x - x0) / xspan * (width - 1)))
             row = min(height - 1, int((yy - y0) / yspan * (height - 1)))

@@ -68,7 +68,7 @@ class SeriesSet:
         from repro.bench.tables import format_table
 
         xs = sorted({x for s in self.series for x in s.x})
-        headers = [self.x_label] + [s.label for s in self.series]
+        headers = [self.x_label, *(s.label for s in self.series)]
         rows = []
         for x in xs:
             row: list[Any] = [x]

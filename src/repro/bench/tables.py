@@ -31,7 +31,7 @@ def format_table(
     ]
 
     def line(parts: Sequence[str]) -> str:
-        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths, strict=True)).rstrip()
 
     out: list[str] = []
     if title:

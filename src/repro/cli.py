@@ -60,6 +60,24 @@ def _emit(payload: dict, as_json: bool) -> None:
         print(f"{k}: {v}")
 
 
+def _device(args, *, faults: Optional[FaultInjector] = None) -> Device:
+    """Device honoring ``--sanitize`` (or GPUSAN); violations are
+    recorded and reported at the end of the run, not raised mid-way."""
+    return Device(
+        faults=faults,
+        sanitize=True if args.sanitize else None,
+        sanitize_mode="record",
+    )
+
+
+def _attach_sanitizer_report(payload: dict, device: Device) -> None:
+    report = device.close()
+    if report is not None:
+        payload["sanitizer"] = report.as_dict()
+        if not report.clean:
+            print(report.render(), file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -73,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--scale", type=float, default=None,
                         help="dataset scale for named datasets")
         sp.add_argument("--json", action="store_true", help="JSON output")
+        sp.add_argument(
+            "--sanitize", action="store_true",
+            help="run under the gpusanitizer (racecheck/memcheck/"
+                 "synccheck) and report violations (also: GPUSAN=1)",
+        )
 
     c = sub.add_parser("cluster", help="cluster one (eps, minpts) variant")
     common(c)
@@ -137,7 +160,7 @@ def _cmd_cluster(args) -> int:
     ):
         if batches is not None:
             specs.append(FaultSpec(kind, frozenset(batches)))
-    device = Device(faults=FaultInjector(specs) if specs else None)
+    device = _device(args, faults=FaultInjector(specs) if specs else None)
     res = HybridDBSCAN(
         device,
         kernel=args.kernel,
@@ -145,29 +168,29 @@ def _cmd_cluster(args) -> int:
     ).fit(pts, args.eps, args.minpts)
     if args.labels_out:
         np.save(args.labels_out, res.labels)
-    _emit(
-        {
-            "points": len(pts),
-            "eps": res.eps,
-            "minpts": res.minpts,
-            "clusters": res.n_clusters,
-            "noise": res.n_noise,
-            "pairs": res.total_pairs,
-            "batches": res.n_batches,
-            "total_s": round(res.timings.total_s, 4),
-            "gpu_s": round(res.timings.gpu_s, 4),
-            "dbscan_s": round(res.timings.dbscan_s, 4),
-            "recovery": res.recovery.as_dict(),
-        },
-        args.json,
-    )
+    payload = {
+        "points": len(pts),
+        "eps": res.eps,
+        "minpts": res.minpts,
+        "clusters": res.n_clusters,
+        "noise": res.n_noise,
+        "pairs": res.total_pairs,
+        "batches": res.n_batches,
+        "total_s": round(res.timings.total_s, 4),
+        "gpu_s": round(res.timings.gpu_s, 4),
+        "dbscan_s": round(res.timings.dbscan_s, 4),
+        "recovery": res.recovery.as_dict(),
+    }
+    _attach_sanitizer_report(payload, device)
+    _emit(payload, args.json)
     return 0
 
 
 def _cmd_sweep(args) -> int:
     pts = _load(args.points, args.scale)
+    hybrid = HybridDBSCAN(_device(args))
     if args.annotated:
-        sweep = cluster_eps_sweep(pts, args.eps, args.minpts)
+        sweep = cluster_eps_sweep(pts, args.eps, args.minpts, hybrid=hybrid)
         payload = {
             "mode": "annotated",
             "build_s": round(sweep.build_s, 4),
@@ -179,7 +202,9 @@ def _cmd_sweep(args) -> int:
         }
     else:
         variants = VariantSet.eps_sweep(args.eps, args.minpts)
-        res = MultiClusterPipeline().run(pts, variants, pipelined=args.pipelined)
+        res = MultiClusterPipeline(hybrid).run(
+            pts, variants, pipelined=args.pipelined
+        )
         payload = {
             "mode": "pipelined" if args.pipelined else "sequential",
             "total_s": round(res.total_s, 4),
@@ -193,35 +218,36 @@ def _cmd_sweep(args) -> int:
                 for o in res.outcomes
             ],
         }
+    _attach_sanitizer_report(payload, hybrid.device)
     _emit(payload, args.json)
     return 0
 
 
 def _cmd_reuse(args) -> int:
     pts = _load(args.points, args.scale)
+    hybrid = HybridDBSCAN(_device(args))
     res = cluster_with_reuse(
-        pts, args.eps, args.minpts, n_threads=args.threads
+        pts, args.eps, args.minpts, n_threads=args.threads, hybrid=hybrid
     )
-    _emit(
-        {
-            "eps": res.eps,
-            "threads": res.n_threads,
-            "build_s": round(res.build_s, 4),
-            "cluster_s": round(res.cluster_s, 4),
-            "thread_speedup": round(res.thread_speedup, 2),
-            "results": [
-                {"minpts": o.minpts, "clusters": o.n_clusters, "noise": o.n_noise}
-                for o in res.outcomes
-            ],
-        },
-        args.json,
-    )
+    payload = {
+        "eps": res.eps,
+        "threads": res.n_threads,
+        "build_s": round(res.build_s, 4),
+        "cluster_s": round(res.cluster_s, 4),
+        "thread_speedup": round(res.thread_speedup, 2),
+        "results": [
+            {"minpts": o.minpts, "clusters": o.n_clusters, "noise": o.n_noise}
+            for o in res.outcomes
+        ],
+    }
+    _attach_sanitizer_report(payload, hybrid.device)
+    _emit(payload, args.json)
     return 0
 
 
 def _cmd_optics(args) -> int:
     pts = _load(args.points, args.scale)
-    h = HybridDBSCAN()
+    h = HybridDBSCAN(_device(args))
     grid, table, _ = h.build_table(pts, args.eps, with_distances=True)
     result = optics(table, args.minpts)
     extractions = []
@@ -236,19 +262,18 @@ def _cmd_optics(args) -> int:
         )
     reach = result.reachability_plot()
     finite = reach[np.isfinite(reach)]
-    _emit(
-        {
-            "points": len(pts),
-            "generating_eps": args.eps,
-            "minpts": args.minpts,
-            "finite_reachability": len(finite),
-            "median_reachability": round(float(np.median(finite)), 5)
-            if len(finite)
-            else None,
-            "extractions": extractions,
-        },
-        args.json,
-    )
+    payload = {
+        "points": len(pts),
+        "generating_eps": args.eps,
+        "minpts": args.minpts,
+        "finite_reachability": len(finite),
+        "median_reachability": round(float(np.median(finite)), 5)
+        if len(finite)
+        else None,
+        "extractions": extractions,
+    }
+    _attach_sanitizer_report(payload, h.device)
+    _emit(payload, args.json)
     return 0
 
 

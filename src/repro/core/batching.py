@@ -471,7 +471,7 @@ def _run_batches(
             t2 = time.perf_counter()
             n = rbuf.count
             staged = device.from_device(
-                rbuf, out=pinned.data, stream=stream, pinned=True, count=n
+                rbuf, out=pinned, stream=stream, pinned=True, count=n
             )
         except (ResultBufferOverflow, TransferError):
             with stats_lock:
@@ -590,7 +590,7 @@ def _run_batches(
                     (plan.buffer_size, width), dtype, name=f"gpuResultSet{i}"
                 )
             )
-        for i in range(n_workers):
+        for _ in range(n_workers):
             pinned_bufs.append(device.alloc_pinned((plan.buffer_size, width), dtype))
         if n_workers == 1:
             worker_loop(0)
@@ -603,5 +603,8 @@ def _run_batches(
                     f.result()
     finally:
         for buf in result_bufs:
-            buf.free()
+            # regrow's failed-restore path can leave an already-freed
+            # buffer in the list; re-freeing would be a memcheck hit
+            if not buf.freed:
+                buf.free()
     return table

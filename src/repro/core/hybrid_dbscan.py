@@ -122,6 +122,10 @@ class HybridDBSCAN:
     dbscan_impl:
         ``"components"`` (vectorized, default) or ``"expand"``
         (faithful Algorithm 1 adaptation).
+    sanitize:
+        Attach the gpusanitizer to the implicitly-created device
+        (ignored when ``device`` is passed explicitly; ``None`` defers
+        to the ``GPUSAN`` environment variable).
     """
 
     def __init__(
@@ -133,8 +137,9 @@ class HybridDBSCAN:
         backend: Literal["vector", "interpreter"] = "vector",
         dbscan_impl: Literal["components", "expand"] = "components",
         block_dim: int = 256,
+        sanitize: Optional[bool] = None,
     ):
-        self.device = device or Device()
+        self.device = device or Device(sanitize=sanitize)
         self.kernel = kernel
         self.batch_config = batch_config or BatchConfig()
         self.backend = backend

@@ -88,7 +88,7 @@ def optics(table: NeighborTable, minpts: int) -> OpticsResult:
         dists = table.neighbor_distances(p)
         unproc = ~processed[nbrs]
         new_reach = np.maximum(cd[p], dists[unproc])
-        for o, r in zip(nbrs[unproc], new_reach):
+        for o, r in zip(nbrs[unproc], new_reach, strict=True):
             if r < reach[o]:
                 reach[o] = r
                 heapq.heappush(seeds, (r, int(o)))

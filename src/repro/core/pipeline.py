@@ -81,10 +81,11 @@ class MultiClusterPipeline:
         n_consumers: int = 3,
         queue_depth: int = 2,
         keep_labels: bool = False,
+        sanitize: Optional[bool] = None,
     ):
         if n_consumers < 1:
             raise ValueError("n_consumers must be >= 1")
-        self.hybrid = hybrid or HybridDBSCAN()
+        self.hybrid = hybrid or HybridDBSCAN(sanitize=sanitize)
         self.n_consumers = n_consumers
         self.queue_depth = queue_depth
         self.keep_labels = keep_labels

@@ -30,7 +30,19 @@ from repro.gpusim.memory import (
 )
 from repro.gpusim.launch import Kernel, LaunchConfig, launch
 from repro.gpusim.occupancy import Occupancy, OccupancyLimits, occupancy
-from repro.gpusim.streams import Event, Stream, Timeline
+from repro.gpusim.sanitizer import (
+    DoubleFreeError,
+    LeakError,
+    MemcheckError,
+    OutOfBoundsError,
+    RaceError,
+    Sanitizer,
+    SanitizerError,
+    SanitizerReport,
+    SynccheckError,
+    UseAfterFreeError,
+)
+from repro.gpusim.streams import Event, StaleStreamError, Stream, Timeline
 from repro.gpusim.thrust import sort_by_key, sort_pairs
 from repro.gpusim.timeline_view import render_timeline
 from repro.gpusim.profiler import Profiler
@@ -51,6 +63,17 @@ __all__ = [
     "Occupancy",
     "OccupancyLimits",
     "occupancy",
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerReport",
+    "RaceError",
+    "MemcheckError",
+    "UseAfterFreeError",
+    "DoubleFreeError",
+    "OutOfBoundsError",
+    "LeakError",
+    "SynccheckError",
+    "StaleStreamError",
     "Stream",
     "Event",
     "Timeline",

@@ -5,10 +5,17 @@ the NVIDIA Tesla K20c used in the paper (13 SMs, 5 GB global memory, PCIe
 2.0-era host link).  :class:`Device` owns the global memory pool, the cost
 model, the profiler, and the stream timeline, and provides the host-side
 API (`to_device`, `from_device`, `alloc_pinned`).
+
+``Device(sanitize=True)`` (or the ``GPUSAN=1`` environment variable, or
+the CLI's ``--sanitize``) attaches a
+:class:`~repro.gpusim.sanitizer.Sanitizer` that records every buffer
+access at this API boundary and checks race/memcheck/synccheck
+invariants — the simulated runtime's ``compute-sanitizer``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -23,9 +30,15 @@ from repro.gpusim.memory import (
     ResultBuffer,
 )
 from repro.gpusim.profiler import Profiler, TransferRecord
+from repro.gpusim.sanitizer import Sanitizer, SanitizerReport
 from repro.gpusim.streams import Stream, Timeline
 
-__all__ = ["DeviceSpec", "Device"]
+__all__ = ["DeviceSpec", "Device", "sanitize_default"]
+
+
+def sanitize_default() -> bool:
+    """Whether ``GPUSAN`` asks for sanitized devices by default."""
+    return os.environ.get("GPUSAN", "").strip().lower() in ("1", "true", "on", "yes")
 
 
 @dataclass(frozen=True)
@@ -61,6 +74,8 @@ class Device:
         cost_model: Optional[CostModel] = None,
         seed: int = 0,
         faults: Optional[FaultInjector] = None,
+        sanitize: Optional[bool] = None,
+        sanitize_mode: str = "raise",
     ):
         self.spec = spec or DeviceSpec()
         self.cost = cost_model or self.spec.cost_model()
@@ -71,6 +86,13 @@ class Device:
         self.rng = np.random.default_rng(seed)
         #: optional fault-injection engine (see :mod:`repro.gpusim.faults`)
         self.faults = faults
+        #: optional compute-sanitizer analogue; ``sanitize=None`` defers
+        #: to the ``GPUSAN`` environment variable
+        enabled = sanitize_default() if sanitize is None else bool(sanitize)
+        self.sanitizer: Optional[Sanitizer] = (
+            Sanitizer(mode=sanitize_mode) if enabled else None
+        )
+        self.memory.sanitizer = self.sanitizer
 
     def check_fault(self, kind: str) -> None:
         """Give the attached :class:`FaultInjector` (if any) a chance to
@@ -107,13 +129,17 @@ class Device:
         return buf
 
     def alloc_pinned(
-        self, shape: Union[int, tuple[int, ...]], dtype: Union[np.dtype, str]
+        self,
+        shape: Union[int, tuple[int, ...]],
+        dtype: Union[np.dtype, str],
+        *,
+        name: str = "pinned",
     ) -> PinnedHostBuffer:
         """Allocate page-locked host memory (charged by the cost model)."""
         arr = np.empty(shape, dtype=dtype)
         ms = self.cost.pinned_alloc_time_ms(arr.nbytes)
         self.profiler.record_pinned_alloc(ms)
-        return PinnedHostBuffer(data=arr, alloc_time_ms=ms)
+        return PinnedHostBuffer(data=arr, alloc_time_ms=ms, name=name)
 
     # ------------------------------------------------------------------
     # transfers
@@ -131,24 +157,37 @@ class Device:
         host_array = np.ascontiguousarray(host_array)
         buf = self.allocate(host_array.shape, host_array.dtype, name=name)
         buf.data[...] = host_array
-        self._record_transfer("h2d", host_array.nbytes, pinned, stream, name)
+        op, s = self._record_transfer("h2d", host_array.nbytes, pinned, stream, name)
+        if self.sanitizer is not None:
+            self.sanitizer.record_access(buf, "write", s, op)
         return buf
 
     def from_device(
         self,
         buf: Union[DeviceBuffer, np.ndarray],
         *,
-        out: Optional[np.ndarray] = None,
+        out: Optional[Union[np.ndarray, PinnedHostBuffer]] = None,
         stream: Optional[Stream] = None,
         pinned: bool = False,
         count: Optional[int] = None,
     ) -> np.ndarray:
         """Copy a device buffer (or its filled prefix) back to the host.
 
-        ``out`` may be a slice of a :class:`PinnedHostBuffer`'s array, in
-        which case the transfer is charged at the pinned rate.
+        ``out`` may be a :class:`PinnedHostBuffer` (or a slice of one's
+        array), in which case the transfer is charged at the pinned rate
+        and — for the buffer form — the staging write is visible to the
+        sanitizer's racecheck.
         """
         self.check_fault("transfer")
+        pinned_out: Optional[PinnedHostBuffer] = None
+        if isinstance(out, PinnedHostBuffer):
+            pinned_out = out
+            out = out.data
+            pinned = True
+        if self.sanitizer is not None and isinstance(buf, DeviceBuffer):
+            self.sanitizer.check_use(buf, "from_device")
+            if count is not None:
+                self.sanitizer.check_bounds(buf, count, "from_device")
         src = buf.view() if isinstance(buf, ResultBuffer) else (
             buf.data if isinstance(buf, DeviceBuffer) else buf
         )
@@ -159,7 +198,16 @@ class Device:
         target = out[: len(src)] if out.shape != src.shape else out
         np.copyto(target, src)
         name = buf.name if isinstance(buf, DeviceBuffer) else ""
-        self._record_transfer("d2h", src.nbytes, pinned, stream, name)
+        op, s = self._record_transfer("d2h", src.nbytes, pinned, stream, name)
+        if self.sanitizer is not None:
+            if isinstance(buf, DeviceBuffer):
+                self.sanitizer.record_access(
+                    buf, "read", s, op, byte_start=0, byte_end=src.nbytes
+                )
+            if pinned_out is not None:
+                self.sanitizer.record_access(
+                    pinned_out, "write", s, op, byte_start=0, byte_end=src.nbytes
+                )
         return target
 
     def _record_transfer(
@@ -169,10 +217,10 @@ class Device:
         pinned: bool,
         stream: Optional[Stream],
         name: str,
-    ) -> None:
+    ):
         cost = self.cost.transfer_time_ms(nbytes, pinned=pinned)
         s = stream or self.default_stream
-        s.submit(f"{direction}:{name}", direction, cost.milliseconds)  # type: ignore[arg-type]
+        op = s.submit(f"{direction}:{name}", direction, cost.milliseconds)  # type: ignore[arg-type]
         self.profiler.record_transfer(
             TransferRecord(
                 direction=direction,
@@ -182,6 +230,7 @@ class Device:
                 stream=s.name,
             )
         )
+        return op, s
 
     # ------------------------------------------------------------------
     # streams
@@ -189,8 +238,39 @@ class Device:
     def new_stream(self, name: str = "") -> Stream:
         return Stream(self.timeline, name=name)
 
+    def synchronize(self) -> float:
+        """Join every stream (``cudaDeviceSynchronize``); returns the
+        barrier instant in simulated ms."""
+        return self.timeline.synchronize()
+
     def reset(self) -> None:
-        """Clear profiler and timeline (keeps memory accounting)."""
+        """Clear profiler and timeline (keeps memory accounting).
+
+        Starts a new timeline epoch: streams created before the reset
+        (including the old default stream) become stale and raise on
+        reuse; the default stream is recreated.
+        """
         self.profiler.reset()
-        self.timeline = Timeline()
+        self.timeline.reset()
         self.default_stream = Stream(self.timeline, name="default")
+        if self.sanitizer is not None:
+            self.sanitizer.clear_accesses()
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def leaked_buffers(self) -> list[DeviceBuffer]:
+        """Live (never-freed) device allocations."""
+        return self.memory.leaked_buffers()
+
+    def close(self) -> Optional[SanitizerReport]:
+        """Teardown check: report leaked allocations to the sanitizer.
+
+        Returns the sanitizer report (``None`` on unsanitized devices).
+        Leaks are reported, never raised — teardown must not mask the
+        run's real outcome.
+        """
+        if self.sanitizer is None:
+            return None
+        self.sanitizer.check_leaks(self.memory)
+        return self.sanitizer.report

@@ -32,12 +32,17 @@ import numpy as np
 
 from repro.gpusim.costmodel import KernelCounters
 from repro.gpusim.memory import DeviceBuffer, ResultBuffer
+from repro.gpusim.sanitizer import SynccheckError
 
 __all__ = ["Barrier", "BarrierDivergenceError", "BlockState", "KernelContext"]
 
 
-class BarrierDivergenceError(RuntimeError):
-    """Threads of one block disagreed about reaching a barrier."""
+class BarrierDivergenceError(SynccheckError):
+    """Threads of one block disagreed about reaching a barrier.
+
+    A :class:`~repro.gpusim.sanitizer.SynccheckError`: this is the bug
+    class ``compute-sanitizer --tool synccheck`` exists for.
+    """
 
 
 @dataclass(frozen=True)

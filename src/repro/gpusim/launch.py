@@ -24,6 +24,8 @@ from typing import Any, Literal, Optional
 from repro.gpusim.costmodel import KernelCounters
 from repro.gpusim.device import Device
 from repro.gpusim.interpreter import run_interpreted
+from repro.gpusim.kernelapi import BarrierDivergenceError
+from repro.gpusim.memory import DeviceBuffer, ResultBuffer
 from repro.gpusim.occupancy import Occupancy, OccupancyLimits, occupancy
 from repro.gpusim.profiler import KernelRecord
 from repro.gpusim.streams import Stream
@@ -113,23 +115,36 @@ def launch(
 ) -> LaunchResult:
     """Launch ``kernel`` on ``device`` and record profiler metrics."""
     counters = KernelCounters()
+    san = device.sanitizer
+    if san is not None:
+        # memcheck: a kernel must not receive freed device buffers
+        for arg_name, arg in kwargs.items():
+            if isinstance(arg, DeviceBuffer):
+                san.check_use(arg, f"launch {kernel.name}({arg_name}=...)")
     t0 = time.perf_counter()
-    if backend == "interpreter":
-        run_interpreted(
-            kernel.device_code,
-            grid_dim=config.grid_dim,
-            block_dim=config.block_dim,
-            counters=counters,
-            shared_mem_limit=device.spec.shared_mem_per_block_bytes,
-            kwargs=kwargs,
-        )
-        value = None
-    elif backend == "vector":
-        counters.blocks += config.grid_dim
-        counters.threads += config.total_threads
-        value = kernel.vector_impl(config, counters, **kwargs)
-    else:  # pragma: no cover - guarded by Literal
-        raise ValueError(f"unknown backend {backend!r}")
+    try:
+        if backend == "interpreter":
+            run_interpreted(
+                kernel.device_code,
+                grid_dim=config.grid_dim,
+                block_dim=config.block_dim,
+                counters=counters,
+                shared_mem_limit=device.spec.shared_mem_per_block_bytes,
+                kwargs=kwargs,
+            )
+            value = None
+        elif backend == "vector":
+            counters.blocks += config.grid_dim
+            counters.threads += config.total_threads
+            value = kernel.vector_impl(config, counters, **kwargs)
+        else:  # pragma: no cover - guarded by Literal
+            raise ValueError(f"unknown backend {backend!r}")
+    except BarrierDivergenceError as exc:
+        if san is not None:
+            san.on_sync_violation(
+                f"kernel {kernel.name}: {exc}", raisable=False
+            )
+        raise
     wall = time.perf_counter() - t0
 
     occ = occupancy(
@@ -140,7 +155,14 @@ def launch(
     )
     modeled_ms = device.cost.kernel_time_ms(counters, occupancy=occ.fraction)
     s = stream or device.default_stream
-    s.submit(kernel.name, "compute", modeled_ms)
+    op = s.submit(kernel.name, "compute", modeled_ms)
+    if san is not None:
+        # racecheck: every device buffer handed to the kernel is accessed
+        # during the compute op — result buffers are written, inputs read
+        for arg in kwargs.values():
+            if isinstance(arg, DeviceBuffer):
+                access = "write" if isinstance(arg, ResultBuffer) else "read"
+                san.record_access(arg, access, s, op)
     device.profiler.record_kernel(
         KernelRecord(
             name=kernel.name,

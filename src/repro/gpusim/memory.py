@@ -71,10 +71,19 @@ class DeviceBuffer:
         return len(self.data)
 
     def free(self) -> None:
-        """Release the allocation back to the pool (idempotent)."""
-        if not self.freed:
-            self.pool.release(self.nbytes)
-            self.freed = True
+        """Release the allocation back to the pool.
+
+        A second ``free()`` is a silent no-op on plain devices but a
+        ``double-free`` memcheck violation under the sanitizer — fix the
+        call site rather than relying on idempotency.
+        """
+        if self.freed:
+            san = getattr(self.pool, "sanitizer", None)
+            if san is not None:
+                san.on_double_free(self)
+            return
+        self.freed = True
+        self.pool.release_buffer(self)
 
     def __enter__(self) -> "DeviceBuffer":
         return self
@@ -115,10 +124,16 @@ class ResultBuffer(DeviceBuffer):
         with self._lock:
             start = self._cursor
             if start + n > self.capacity:
-                raise ResultBufferOverflow(
+                msg = (
                     f"result buffer '{self.name}' overflow: "
                     f"{start} + {n} > capacity {self.capacity}"
                 )
+                san = getattr(self.pool, "sanitizer", None)
+                if san is not None:
+                    # raises OutOfBoundsError (a ResultBufferOverflow
+                    # subclass) in raise mode; records in record mode
+                    san.on_overflow(msg)
+                raise ResultBufferOverflow(msg)
             self._cursor = start + n
             return start
 
@@ -142,11 +157,16 @@ class PinnedHostBuffer:
     allocate — the model charges
     :meth:`repro.gpusim.costmodel.CostModel.pinned_alloc_time_ms` at
     construction, which the batching scheme's variable buffer sizing
-    exists to minimize.
+    exists to minimize.  Pinned buffers share the device-buffer id space
+    so the sanitizer can track staging-buffer accesses (two streams
+    staging through one pinned buffer is the canonical Section VI race).
     """
 
     data: np.ndarray
     alloc_time_ms: float
+    name: str = ""
+    buffer_id: int = field(default_factory=lambda: next(_buffer_ids))
+    freed: bool = False
 
     @property
     def nbytes(self) -> int:
@@ -157,7 +177,12 @@ class PinnedHostBuffer:
 
 
 class GlobalMemoryPool:
-    """Capacity accounting for device global memory."""
+    """Capacity accounting for device global memory.
+
+    The pool tracks every live :class:`DeviceBuffer` it has handed out
+    (:meth:`leaked_buffers` is the teardown leak report), and forwards
+    double-free / overflow observations to an attached sanitizer.
+    """
 
     def __init__(self, capacity_bytes: int):
         if capacity_bytes <= 0:
@@ -166,6 +191,10 @@ class GlobalMemoryPool:
         self._used = 0
         self._lock = threading.Lock()
         self.peak_bytes = 0
+        self._live: dict[int, "DeviceBuffer"] = {}
+        #: optional :class:`repro.gpusim.sanitizer.Sanitizer` (set by the
+        #: owning Device; duck-typed to avoid an import cycle)
+        self.sanitizer = None
 
     @property
     def used_bytes(self) -> int:
@@ -192,6 +221,26 @@ class GlobalMemoryPool:
             if self._used < 0:  # pragma: no cover - defensive
                 raise RuntimeError("global memory pool underflow")
 
+    def release_buffer(self, buf: "DeviceBuffer") -> None:
+        """Release a tracked buffer's bytes and drop it from the live set."""
+        with self._lock:
+            self._used -= buf.nbytes
+            if self._used < 0:  # pragma: no cover - defensive
+                raise RuntimeError("global memory pool underflow")
+            self._live.pop(buf.buffer_id, None)
+        if self.sanitizer is not None:
+            self.sanitizer.on_free(buf)
+
+    def leaked_buffers(self) -> list["DeviceBuffer"]:
+        """Live (never-freed) allocations — the teardown leak report."""
+        with self._lock:
+            return list(self._live.values())
+
+    @property
+    def live_count(self) -> int:
+        with self._lock:
+            return len(self._live)
+
     def allocate(
         self,
         shape: tuple[int, ...] | int,
@@ -206,7 +255,10 @@ class GlobalMemoryPool:
         if fill is not None:
             arr.fill(fill)
         self.reserve(arr.nbytes)
-        cls = ResultBuffer if result_buffer else DeviceBuffer
         if result_buffer:
-            return ResultBuffer(arr, self, name=name)
-        return cls(data=arr, pool=self, name=name)
+            buf: DeviceBuffer = ResultBuffer(arr, self, name=name)
+        else:
+            buf = DeviceBuffer(data=arr, pool=self, name=name)
+        with self._lock:
+            self._live[buf.buffer_id] = buf
+        return buf

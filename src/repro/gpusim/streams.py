@@ -7,22 +7,48 @@ different streams overlap whenever their engines are free.  The
 :class:`Timeline` computes start/end instants for every operation so the
 profiler can report how much transfer time the batching scheme hides
 behind kernel execution (Section VI of the paper).
+
+Ordering semantics (the sanitizer's happens-before graph) are explicit:
+each stream carries a vector clock advanced at every submitted op;
+:meth:`Stream.record_event` snapshots it into an :class:`Event` bound to
+the recording timeline, :meth:`Stream.wait_event` merges it (and rejects
+events from another timeline or a pre-reset epoch — the CUDA
+cross-device ``cudaStreamWaitEvent`` misuse), and
+:meth:`Timeline.synchronize` is the ``cudaDeviceSynchronize`` analogue
+joining every stream.  :meth:`Timeline.reset` starts a new *epoch*:
+streams created before the reset are invalidated and raise
+:class:`StaleStreamError` on reuse instead of silently carrying stale
+``available_ms`` values into the fresh timeline.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass
-from typing import Literal
+from dataclasses import dataclass, field
+from typing import Literal, Optional
 
-__all__ = ["Engine", "Stream", "Event", "TimelineOp", "Timeline"]
+from repro.gpusim.sanitizer import SynccheckError
+
+__all__ = [
+    "Engine",
+    "Stream",
+    "Event",
+    "TimelineOp",
+    "Timeline",
+    "StaleStreamError",
+    "concurrent_streams",
+]
 
 Engine = Literal["compute", "h2d", "d2h", "host"]
 
 _ENGINES: tuple[Engine, ...] = ("compute", "h2d", "d2h", "host")
 
 _stream_ids = itertools.count(0)
+
+
+class StaleStreamError(RuntimeError):
+    """A stream from before a :meth:`Timeline.reset` was reused."""
 
 
 @dataclass(frozen=True)
@@ -42,10 +68,19 @@ class TimelineOp:
 
 @dataclass
 class Event:
-    """A recorded instant in a stream (CUDA event analogue)."""
+    """A recorded instant in a stream (CUDA event analogue).
+
+    Recorded events are bound to the timeline (and its epoch) they were
+    recorded on, and snapshot the recording stream's vector clock so
+    :meth:`Stream.wait_event` creates a happens-before edge.
+    """
 
     timestamp_ms: float = 0.0
     recorded: bool = False
+    timeline: Optional["Timeline"] = None
+    stream_id: Optional[int] = None
+    epoch: int = 0
+    clock: dict[int, int] = field(default_factory=dict)
 
 
 class Stream:
@@ -57,15 +92,58 @@ class Stream:
         self.name = name or f"stream{self.stream_id}"
         #: simulated instant at which this stream's last op completes
         self.available_ms = 0.0
+        #: timeline epoch this stream belongs to (stale after a reset)
+        self.epoch = timeline.epoch
+        #: number of ops submitted to this stream (program order)
+        self.seq = 0
+        #: vector clock: latest known op seq per stream (self included)
+        self.clock: dict[int, int] = {self.stream_id: 0}
+        timeline._register(self)
+
+    def _check_live(self) -> None:
+        if self.epoch != self.timeline.epoch:
+            raise StaleStreamError(
+                f"stream '{self.name}' belongs to timeline epoch "
+                f"{self.epoch}, but the timeline was reset (epoch "
+                f"{self.timeline.epoch}); create a new stream"
+            )
 
     def record_event(self) -> Event:
-        return Event(timestamp_ms=self.available_ms, recorded=True)
+        self._check_live()
+        return Event(
+            timestamp_ms=self.available_ms,
+            recorded=True,
+            timeline=self.timeline,
+            stream_id=self.stream_id,
+            epoch=self.epoch,
+            clock=dict(self.clock),
+        )
 
     def wait_event(self, event: Event) -> None:
-        """Block subsequent work in this stream until ``event``."""
+        """Block subsequent work in this stream until ``event``.
+
+        Rejects unrecorded events and events recorded on a different
+        timeline (or a pre-reset epoch of this one) — the synccheck
+        hook: a cross-device wait must not silently "work".
+        """
+        self._check_live()
         if not event.recorded:
-            raise ValueError("cannot wait on an unrecorded event")
+            raise SynccheckError("cannot wait on an unrecorded event")
+        if event.timeline is not None and event.timeline is not self.timeline:
+            raise SynccheckError(
+                f"stream '{self.name}' cannot wait on an event recorded "
+                f"on a different timeline"
+            )
+        if event.timeline is self.timeline and event.epoch != self.timeline.epoch:
+            raise SynccheckError(
+                f"stream '{self.name}' cannot wait on an event recorded "
+                f"before the timeline was reset (event epoch {event.epoch}, "
+                f"timeline epoch {self.timeline.epoch})"
+            )
         self.available_ms = max(self.available_ms, event.timestamp_ms)
+        for sid, seq in event.clock.items():
+            if self.clock.get(sid, 0) < seq:
+                self.clock[sid] = seq
 
     def submit(self, name: str, engine: Engine, duration_ms: float) -> TimelineOp:
         return self.timeline.schedule(self, name, engine, duration_ms)
@@ -78,6 +156,18 @@ class Timeline:
         self._engine_available: dict[Engine, float] = {e: 0.0 for e in _ENGINES}
         self.ops: list[TimelineOp] = []
         self._lock = threading.Lock()
+        #: bumped by :meth:`reset`; streams from older epochs are stale
+        self.epoch = 0
+        self._streams: list[Stream] = []
+
+    def _register(self, stream: Stream) -> None:
+        with self._lock:
+            self._streams.append(stream)
+
+    @property
+    def streams(self) -> list[Stream]:
+        """Live streams of the current epoch."""
+        return [s for s in self._streams if s.epoch == self.epoch]
 
     def schedule(
         self, stream: Stream, name: str, engine: Engine, duration_ms: float
@@ -87,11 +177,14 @@ class Timeline:
             raise ValueError("operation duration must be non-negative")
         if engine not in self._engine_available:
             raise ValueError(f"unknown engine {engine!r}")
+        stream._check_live()
         with self._lock:
             start = max(stream.available_ms, self._engine_available[engine])
             end = start + duration_ms
             stream.available_ms = end
             self._engine_available[engine] = end
+            stream.seq += 1
+            stream.clock[stream.stream_id] = stream.seq
             op = TimelineOp(
                 name=name,
                 stream_id=stream.stream_id,
@@ -101,6 +194,29 @@ class Timeline:
             )
             self.ops.append(op)
             return op
+
+    def synchronize(self) -> float:
+        """Device-wide barrier (``cudaDeviceSynchronize`` analogue).
+
+        Joins every live stream: all later work on any stream
+        happens-after all work submitted so far.  Returns the barrier
+        instant.
+        """
+        with self._lock:
+            live = [s for s in self._streams if s.epoch == self.epoch]
+            t = max(
+                [*(s.available_ms for s in live), *self._engine_available.values()],
+                default=0.0,
+            )
+            merged: dict[int, int] = {}
+            for s in live:
+                for sid, seq in s.clock.items():
+                    if merged.get(sid, 0) < seq:
+                        merged[sid] = seq
+            for s in live:
+                s.available_ms = t
+                s.clock = dict(merged)
+            return t
 
     # ------------------------------------------------------------------
     # reporting
@@ -125,10 +241,17 @@ class Timeline:
         return [op for op in self.ops if op.stream_id == stream.stream_id]
 
     def reset(self) -> None:
-        self._engine_available = {e: 0.0 for e in _ENGINES}
-        self.ops.clear()
-        # Streams keep their own availability; callers recreate streams
-        # after a reset (Device.reset_timeline does this).
+        """Start a fresh epoch: clears ops and invalidates old streams.
+
+        Streams created before the reset raise :class:`StaleStreamError`
+        on any further use — callers must create new streams
+        (``Device.reset`` recreates the default stream).
+        """
+        with self._lock:
+            self._engine_available = {e: 0.0 for e in _ENGINES}
+            self.ops.clear()
+            self.epoch += 1
+            self._streams = []
 
 
 def concurrent_streams(timeline: Timeline, n: int) -> list[Stream]:

@@ -25,6 +25,23 @@ def _filled(buf: DeviceBuffer) -> np.ndarray:
     return buf.view() if isinstance(buf, ResultBuffer) else buf.data
 
 
+def _record(device: Device, bufs, kind: str, stream: Stream, op) -> None:
+    """Report buffer accesses of one Thrust call to the sanitizer."""
+    san = device.sanitizer
+    if san is None:
+        return
+    for buf in bufs:
+        san.record_access(buf, kind, stream, op)
+
+
+def _check_use(device: Device, bufs, context: str) -> None:
+    san = device.sanitizer
+    if san is None:
+        return
+    for buf in bufs:
+        san.check_use(buf, context)
+
+
 def sort_by_key(
     keys: DeviceBuffer,
     values: DeviceBuffer,
@@ -37,6 +54,7 @@ def sort_by_key(
     Returns the number of pairs sorted.  Only the filled prefix of
     result buffers participates, matching Thrust's iterator-range call.
     """
+    _check_use(device, (keys, values), "thrust::sort_by_key")
     k = _filled(keys)
     v = _filled(values)
     if len(k) != len(v):
@@ -48,7 +66,8 @@ def sort_by_key(
         v[...] = v[order]
     ms = device.cost.sort_time_ms(n)
     s = stream or device.default_stream
-    s.submit("thrust::sort_by_key", "compute", ms)
+    op = s.submit("thrust::sort_by_key", "compute", ms)
+    _record(device, (keys, values), "write", s, op)
     device.profiler.record_sort(SortRecord(n=n, modeled_ms=ms, stream=s.name))
     return n
 
@@ -67,6 +86,7 @@ def sort_pairs(
     result is shipped to the host.  An ``(n, 3)`` buffer carries a
     distance column as well (the annotated-table extension).
     """
+    _check_use(device, (pairs,), "thrust::sort_by_key")
     data = _filled(pairs)
     if data.ndim != 2 or data.shape[1] not in (2, 3):
         raise ValueError(
@@ -78,7 +98,8 @@ def sort_pairs(
         data[...] = data[order]
     ms = device.cost.sort_time_ms(n)
     s = stream or device.default_stream
-    s.submit("thrust::sort_by_key", "compute", ms)
+    op = s.submit("thrust::sort_by_key", "compute", ms)
+    _record(device, (pairs,), "write", s, op)
     device.profiler.record_sort(SortRecord(n=n, modeled_ms=ms, stream=s.name))
     return n
 
@@ -87,9 +108,11 @@ def reduce_sum(
     buf: DeviceBuffer, device: Device, *, stream: Optional[Stream] = None
 ) -> float:
     """Device-side reduction (``thrust::reduce``) over the filled prefix."""
+    _check_use(device, (buf,), "thrust::reduce")
     data = _filled(buf)
     total = float(data.sum()) if len(data) else 0.0
     ms = device.cost.sort_time_ms(len(data)) * 0.1  # reduction ≪ sort
     s = stream or device.default_stream
-    s.submit("thrust::reduce", "compute", ms)
+    op = s.submit("thrust::reduce", "compute", ms)
+    _record(device, (buf,), "read", s, op)
     return total

@@ -142,7 +142,7 @@ def schedule_pipeline(
     intervals: list[TaskInterval] = []
     consume_start_bound = 0.0  # for queue-depth stalling
     t_prod = 0.0
-    for i, (p, c) in enumerate(zip(ps, cs)):
+    for i, (p, c) in enumerate(zip(ps, cs, strict=True)):
         # queue-depth back-pressure: item i can only be produced once
         # item i - queue_depth has started consumption
         if queue_depth is not None and i >= queue_depth:

@@ -287,7 +287,13 @@ class RTree:
             raise ValueError("eps must be non-negative")
         self.queries += 1
         x, y = float(xy[0]), float(xy[1])
-        qbox = (x - eps, y - eps, x + eps, y + eps)
+        # The box prune must never exclude a point the leaf-level squared
+        # distance test would accept.  That test works on fl(dx²+dy²),
+        # which (a) rounds, and (b) underflows to 0 for |dx| below
+        # ~1.5e-154 — so a point can pass ``d² <= eps²`` while lying
+        # strictly outside the exact ε-box.  Pad the box accordingly.
+        pad = 1.5e-154 + 1e-9 * (eps + abs(x) + abs(y))
+        qbox = (x - eps - pad, y - eps - pad, x + eps + pad, y + eps + pad)
         out: list[np.ndarray] = []
         eps2 = eps * eps
         stack = [self._root]

@@ -13,6 +13,8 @@ uniformly in space, keeping per-batch result sizes nearly equal.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro._nputil import expand_ranges
@@ -75,7 +77,7 @@ class GPUCalcGlobal(Kernel):
         batch: int = 0,
         n_batches: int = 1,
         emit_distance: bool = False,
-        point_mask: np.ndarray = None,
+        point_mask: Optional[np.ndarray] = None,
     ) -> None:
         gid = ctx.global_id
         pid = gid * n_batches + batch
@@ -132,7 +134,7 @@ class GPUCalcGlobal(Kernel):
         n_batches: int = 1,
         batch_order: str = "strided",
         emit_distance: bool = False,
-        point_mask: np.ndarray = None,
+        point_mask: Optional[np.ndarray] = None,
     ) -> int:
         """Whole-batch NumPy evaluation; returns the number of pairs
         appended to ``result``.

@@ -15,6 +15,8 @@ points than the block size, the extra tiling loop the paper describes
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.gpusim.costmodel import KernelCounters
@@ -54,7 +56,7 @@ class GPUCalcShared(Kernel):
         result: ResultBuffer,
         batch: int = 0,
         n_batches: int = 1,
-        point_mask: np.ndarray = None,
+        point_mask: Optional[np.ndarray] = None,
     ):
         if ctx.block_idx >= len(S):
             return
@@ -150,7 +152,7 @@ class GPUCalcShared(Kernel):
         batch: int = 0,
         n_batches: int = 1,
         batch_order: str = "strided",
-        point_mask: np.ndarray = None,
+        point_mask: Optional[np.ndarray] = None,
     ) -> int:
         """Block-per-cell evaluation; returns pairs appended.
 

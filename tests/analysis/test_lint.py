@@ -1,0 +1,142 @@
+"""Tests for the repo-invariant AST lint (GS001/GS002/GS003)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_source, main, run_lint
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestGS001DeviceData:
+    def test_factory_assignment_tracked(self):
+        src = (
+            "buf = device.allocate(100, float)\n"
+            "x = buf.data[0]\n"
+        )
+        findings = lint_source(src, "core/x.py")
+        assert rules(findings) == ["GS001"]
+        assert findings[0].line == 2
+
+    def test_all_factories_tracked(self):
+        for factory in (
+            "allocate",
+            "allocate_result_buffer",
+            "alloc_pinned",
+            "to_device",
+        ):
+            src = f"b = device.{factory}(1)\nb.data[:] = 0\n"
+            assert rules(lint_source(src, "core/x.py")) == ["GS001"]
+
+    def test_annotated_parameter_tracked(self):
+        src = (
+            "def stage(buf: DeviceBuffer):\n"
+            "    return buf.data.sum()\n"
+        )
+        assert rules(lint_source(src, "core/x.py")) == ["GS001"]
+
+    def test_optional_annotation_tracked(self):
+        src = (
+            "def stage(buf: Optional[ResultBuffer] = None):\n"
+            "    return buf.data\n"
+        )
+        assert rules(lint_source(src, "core/x.py")) == ["GS001"]
+
+    def test_device_layer_exempt(self):
+        src = "buf = pool.allocate(10)\nbuf.data[:] = 0\n"
+        assert lint_source(src, "gpusim/memory.py", in_device_layer=True) == []
+
+    def test_unrelated_data_attribute_ok(self):
+        src = "record = parse()\nprint(record.data)\n"
+        assert lint_source(src, "core/x.py") == []
+
+    def test_metadata_methods_ok(self):
+        # shape/dtype/count/view etc. are part of the host-safe API
+        src = (
+            "buf = device.allocate(10)\n"
+            "n = len(buf)\n"
+            "s = buf.shape\n"
+            "c = buf.nbytes\n"
+        )
+        assert lint_source(src, "core/x.py") == []
+
+
+class TestGS002WallClock:
+    def test_time_time_in_gpusim(self):
+        src = "import time\nt0 = time.time()\n"
+        assert rules(lint_source(src, "gpusim/x.py", in_device_layer=True)) == [
+            "GS002"
+        ]
+
+    def test_datetime_now_in_gpusim(self):
+        for method in ("now", "utcnow", "today"):
+            src = f"from datetime import datetime\nd = datetime.{method}()\n"
+            assert rules(
+                lint_source(src, "gpusim/x.py", in_device_layer=True)
+            ) == ["GS002"]
+
+    def test_perf_counter_allowed(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert lint_source(src, "gpusim/x.py", in_device_layer=True) == []
+
+    def test_wall_clock_outside_gpusim_allowed(self):
+        src = "import time\nt0 = time.time()\n"
+        assert lint_source(src, "bench/x.py") == []
+
+
+class TestGS003BareAcquire:
+    def test_bare_acquire_flagged(self):
+        for name in ("self._lock", "lock", "self.mutex", "table_lock"):
+            src = f"{name}.acquire()\n"
+            assert rules(lint_source(src, "core/x.py")) == ["GS003"]
+
+    def test_with_statement_ok(self):
+        src = "with self._lock:\n    pass\n"
+        assert lint_source(src, "core/x.py") == []
+
+    def test_non_lock_acquire_ok(self):
+        src = "connection.acquire()\n"
+        assert lint_source(src, "core/x.py") == []
+
+
+class TestRunner:
+    def test_run_lint_walks_tree(self, tmp_path):
+        (tmp_path / "gpusim").mkdir()
+        (tmp_path / "core").mkdir()
+        (tmp_path / "gpusim" / "bad.py").write_text(
+            "import time\nt = time.time()\n"
+        )
+        (tmp_path / "core" / "bad.py").write_text(
+            "b = device.allocate(1)\nb.data[:] = 0\nmy_lock.acquire()\n"
+        )
+        findings = run_lint([str(tmp_path)])
+        assert sorted(rules(findings)) == ["GS001", "GS002", "GS003"]
+        d = findings[0].as_dict()
+        assert {"rule", "path", "line", "col", "message"} <= set(d)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("the_lock.acquire()\n")
+        assert main([str(bad)]) == 1
+        assert "GS003" in capsys.readouterr().out
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_syntax_error_propagates(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        with pytest.raises(SyntaxError):
+            run_lint([str(bad)])
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_findings(self):
+        findings = run_lint([str(REPO_SRC)])
+        assert findings == [], "\n".join(f.render() for f in findings)

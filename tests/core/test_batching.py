@@ -85,7 +85,7 @@ class TestPlanRules:
 class TestBuildNeighborTable:
     def _truth(self, grid):
         k, v = BruteForceIndex(grid.points).all_pairs(grid.eps)
-        return sorted(zip(k.tolist(), v.tolist()))
+        return sorted(zip(k.tolist(), v.tolist(), strict=True))
 
     def _table_pairs(self, table):
         out = []

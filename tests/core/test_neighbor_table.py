@@ -88,13 +88,13 @@ class TestQueries:
         pairs = [(0, 0), (0, 2), (1, 1), (2, 0), (2, 2)]
         t = table_from_pairs(3, pairs)
         src, dst = t.edges()
-        assert sorted(zip(src.tolist(), dst.tolist())) == sorted(pairs)
+        assert sorted(zip(src.tolist(), dst.tolist(), strict=True)) == sorted(pairs)
 
     def test_edges_for_subset(self):
         pairs = [(0, 0), (0, 2), (1, 1), (2, 0)]
         t = table_from_pairs(3, pairs)
         src, dst = t.edges_for(np.array([0, 2]))
-        assert sorted(zip(src.tolist(), dst.tolist())) == [(0, 0), (0, 2), (2, 0)]
+        assert sorted(zip(src.tolist(), dst.tolist(), strict=True)) == [(0, 0), (0, 2), (2, 0)]
 
     def test_total_pairs(self):
         t = table_from_pairs(3, [(0, 0), (1, 1), (1, 2)])

@@ -91,7 +91,7 @@ class TestOrdering:
         labels = dbscan_from_annotated_table(table, 5, 0.5)
         # walk the order; count transitions between the two clusters
         seq = [labels[p] for p in res.order if labels[p] != NOISE]
-        transitions = sum(1 for a, b in zip(seq, seq[1:]) if a != b)
+        transitions = sum(1 for a, b in zip(seq, seq[1:], strict=False) if a != b)
         assert transitions == 1  # two blobs -> exactly one switch
 
     def test_reachability_plot_shape(self, blobs_points):

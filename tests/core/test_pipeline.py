@@ -20,7 +20,7 @@ class TestOutcomes:
         seq = pipe.run(blobs_points, variants, pipelined=False)
         par = pipe.run(blobs_points, variants, pipelined=True, mode=mode)
         assert len(seq.outcomes) == len(par.outcomes) == len(variants)
-        for a, b in zip(seq.outcomes, par.outcomes):
+        for a, b in zip(seq.outcomes, par.outcomes, strict=True):
             assert a.variant == b.variant
             assert a.n_clusters == b.n_clusters
             assert a.n_noise == b.n_noise

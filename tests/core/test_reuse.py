@@ -26,7 +26,7 @@ class TestCorrectness:
             blobs_points, 0.5, minpts_values, n_threads=4, keep_labels=True,
             mode="threads",
         )
-        for a, b in zip(serial.outcomes, threaded.outcomes):
+        for a, b in zip(serial.outcomes, threaded.outcomes, strict=True):
             assert a.minpts == b.minpts
             assert np.array_equal(a.labels, b.labels)
 

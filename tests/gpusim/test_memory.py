@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.gpusim import DeviceMemoryError, DeviceSpec, ResultBufferOverflow
+from repro.gpusim import Device, DeviceMemoryError, DeviceSpec, ResultBufferOverflow
 from repro.gpusim.memory import GlobalMemoryPool
 
 
@@ -45,7 +45,10 @@ class TestGlobalMemoryPool:
 
 
 class TestDeviceBuffer:
-    def test_free_is_idempotent(self, device):
+    def test_free_is_idempotent(self):
+        # double-free is tolerated only on unsanitized devices (the
+        # sanitizer flags it as a memcheck violation; see test_sanitizer)
+        device = Device(sanitize=False)
         buf = device.allocate(100, np.float64)
         used = device.memory.used_bytes
         buf.free()
@@ -68,6 +71,25 @@ class TestDeviceBuffer:
     def test_device_oom(self, tiny_device):
         with pytest.raises(DeviceMemoryError):
             tiny_device.allocate(100_000, np.float64)
+
+
+class TestLiveTracking:
+    def test_pool_tracks_live_buffers(self, device):
+        a = device.allocate(10, np.float64, name="a")
+        b = device.allocate(10, np.float64, name="b")
+        assert device.memory.live_count == 2
+        a.free()
+        leaked = device.leaked_buffers()
+        assert [buf.buffer_id for buf in leaked] == [b.buffer_id]
+        b.free()
+        assert device.memory.live_count == 0
+        assert device.leaked_buffers() == []
+
+    def test_result_buffers_tracked(self, device):
+        buf = device.allocate_result_buffer(10, np.int64)
+        assert device.memory.live_count == 1
+        buf.free()
+        assert device.memory.live_count == 0
 
 
 class TestResultBuffer:

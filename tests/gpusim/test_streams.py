@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.gpusim.streams import Stream, Timeline, concurrent_streams
+from repro.gpusim.sanitizer import SynccheckError
+from repro.gpusim.streams import (
+    StaleStreamError,
+    Stream,
+    Timeline,
+    concurrent_streams,
+)
 
 
 @pytest.fixture
@@ -78,6 +84,43 @@ class TestTimelineMath:
         assert timeline.ops == []
 
 
+class TestReset:
+    def test_reset_invalidates_old_streams(self, timeline):
+        """A held stream must not carry stale available_ms past a reset."""
+        s = Stream(timeline)
+        s.submit("a", "compute", 5.0)
+        timeline.reset()
+        with pytest.raises(StaleStreamError):
+            s.submit("b", "compute", 1.0)
+
+    def test_stale_stream_event_apis_raise(self, timeline):
+        s = Stream(timeline)
+        timeline.reset()
+        with pytest.raises(StaleStreamError):
+            s.record_event()
+        fresh = Stream(timeline)
+        ev = fresh.record_event()
+        with pytest.raises(StaleStreamError):
+            s.wait_event(ev)
+
+    def test_new_epoch_streams_start_clean(self, timeline):
+        old = Stream(timeline)
+        old.submit("a", "compute", 9.0)
+        timeline.reset()
+        fresh = Stream(timeline)
+        op = fresh.submit("b", "compute", 1.0)
+        assert op.start_ms == 0.0
+        assert timeline.streams == [fresh]
+
+    def test_wait_on_pre_reset_event_raises(self, timeline):
+        s = Stream(timeline)
+        ev = s.record_event()
+        timeline.reset()
+        fresh = Stream(timeline)
+        with pytest.raises(SynccheckError):
+            fresh.wait_event(ev)
+
+
 class TestEvents:
     def test_record_and_wait(self, timeline):
         s1, s2 = Stream(timeline), Stream(timeline)
@@ -92,10 +135,41 @@ class TestEvents:
         from repro.gpusim.streams import Event
 
         s = Stream(timeline)
-        with pytest.raises(ValueError):
+        with pytest.raises(SynccheckError):
             s.wait_event(Event())
+
+    def test_wait_event_from_other_timeline_raises(self, timeline):
+        other = Timeline()
+        src = Stream(other)
+        ev = src.record_event()
+        s = Stream(timeline)
+        with pytest.raises(SynccheckError):
+            s.wait_event(ev)
+
+    def test_event_merges_vector_clock(self, timeline):
+        s1, s2 = Stream(timeline), Stream(timeline)
+        s1.submit("k", "compute", 3.0)
+        ev = s1.record_event()
+        s2.wait_event(ev)
+        assert s2.clock[s1.stream_id] == s1.seq
 
     def test_duration_property(self, timeline):
         s = Stream(timeline)
         op = s.submit("a", "compute", 2.5)
         assert op.duration_ms == pytest.approx(2.5)
+
+
+class TestSynchronize:
+    def test_synchronize_joins_all_streams(self, timeline):
+        s1, s2 = Stream(timeline), Stream(timeline)
+        s1.submit("k", "compute", 8.0)
+        s2.submit("t", "h2d", 3.0)
+        t = timeline.synchronize()
+        assert t == pytest.approx(8.0)
+        assert s1.available_ms == s2.available_ms == t
+        # clocks merged both ways — everything before is ordered after
+        assert s2.clock[s1.stream_id] == s1.seq
+        assert s1.clock[s2.stream_id] == s2.seq
+
+    def test_synchronize_empty(self, timeline):
+        assert timeline.synchronize() == 0.0

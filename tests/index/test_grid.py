@@ -124,7 +124,7 @@ class TestNeighborCells:
         g = GridIndex.build(uniform_points, 0.4)
         cells = g.nonempty_cells[:30]
         mat = g.neighbor_cells_of_points(cells)
-        for row, h in zip(mat, cells):
+        for row, h in zip(mat, cells, strict=True):
             got = sorted(row[row >= 0].tolist())
             assert got == sorted(g.neighbor_cells(int(h)).tolist())
 
@@ -165,7 +165,7 @@ class TestRangeQuery:
         g = GridIndex.build(pts, eps)
         bf = BruteForceIndex(g.points)
         tk, tv = bf.all_pairs(eps)
-        truth = set(zip(tk.tolist(), tv.tolist()))
+        truth = set(zip(tk.tolist(), tv.tolist(), strict=True))
         got = set()
         for pid in range(len(pts)):
             for q in g.range_query(pid):

@@ -13,7 +13,7 @@ def truth_pairs(grid: GridIndex) -> set[tuple[int, int]]:
     """Ground-truth (key, value) ε-pairs in the grid's sorted id space."""
     bf = BruteForceIndex(grid.points)
     k, v = bf.all_pairs(grid.eps)
-    return set(zip(k.tolist(), v.tolist()))
+    return set(zip(k.tolist(), v.tolist(), strict=True))
 
 
 def run_global(

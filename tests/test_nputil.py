@@ -118,7 +118,7 @@ class TestRunBoundaries:
         vals, starts, ends = run_boundaries(arr)
         # runs tile the array exactly
         rebuilt = np.concatenate(
-            [np.full(e - s, v) for v, s, e in zip(vals, starts, ends)]
+            [np.full(e - s, v) for v, s, e in zip(vals, starts, ends, strict=True)]
             or [np.empty(0, dtype=np.int64)]
         )
         assert np.array_equal(rebuilt, arr)
