@@ -229,6 +229,9 @@ def ablations() -> str:
          "beats pure shared everywhere, tracks global, fewer blocks"),
         ("ablation_multi_eps", "multi-ε reuse (extension)",
          "one annotated table beats per-ε rebuilds across the S2 sweep"),
+        ("BENCH_shards", "sharded out-of-core clustering (extension)",
+         "per-shard peak residency stays under the cap (below the "
+         "single-device peak); labels bit-identical at every shard grid"),
         ("bandwidth_model", "bandwidth model (future work)",
          "device phase accelerates toward NVLink; saturates when compute-bound"),
     ]

@@ -34,8 +34,10 @@ from repro.core import (
     BatchConfig,
     HybridDBSCAN,
     MultiClusterPipeline,
+    ShardConfig,
     VariantSet,
     cluster_eps_sweep,
+    cluster_sharded,
     cluster_with_reuse,
     extract_dbscan,
     optics,
@@ -118,6 +120,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject-transfer", type=int, nargs="*", metavar="BATCH", default=None,
         help="fault injection: fail the staging transfer of these batches",
     )
+    c.add_argument(
+        "--shards", type=int, nargs=2, metavar=("NX", "NY"), default=None,
+        help="out-of-core mode: partition into NX x NY eps-aligned tiles "
+             "with halo merge (labels identical to the single-device path)",
+    )
+    c.add_argument(
+        "--shard-workers", type=int, default=2,
+        help="simulated worker count the shard schedule is packed onto",
+    )
+    c.add_argument(
+        "--shard-mem-mb", type=float, default=None,
+        help="per-shard device memory cap in MiB (out-of-core budget)",
+    )
 
     s = sub.add_parser("sweep", help="scenario S2: eps sweep at fixed minpts")
     common(s)
@@ -153,6 +168,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_cluster(args) -> int:
     pts = _load(args.points, args.scale)
+    if args.shards is not None:
+        return _cmd_cluster_sharded(args, pts)
     specs = []
     for kind, batches in (
         ("overflow", args.inject_overflow),
@@ -182,6 +199,53 @@ def _cmd_cluster(args) -> int:
         "recovery": res.recovery.as_dict(),
     }
     _attach_sanitizer_report(payload, device)
+    _emit(payload, args.json)
+    return 0
+
+
+def _cmd_cluster_sharded(args, pts: np.ndarray) -> int:
+    if args.inject_overflow is not None or args.inject_transfer is not None:
+        print("error: fault injection is not supported with --shards "
+              "(shards run on fresh per-shard devices)", file=sys.stderr)
+        return 2
+    nx, ny = args.shards
+    cap = (
+        int(args.shard_mem_mb * (1 << 20))
+        if args.shard_mem_mb is not None
+        else None
+    )
+    res = cluster_sharded(
+        pts,
+        args.eps,
+        args.minpts,
+        config=ShardConfig(
+            shards_x=nx,
+            shards_y=ny,
+            n_workers=args.shard_workers,
+            device_mem_bytes=cap,
+        ),
+        kernel=args.kernel,
+        batch_config=BatchConfig(recovery=args.recovery),
+        sanitize=True if args.sanitize else None,
+    )
+    if args.labels_out:
+        np.save(args.labels_out, res.labels)
+    payload = {
+        "points": len(pts),
+        "eps": res.eps,
+        "minpts": res.minpts,
+        "clusters": res.n_clusters,
+        "noise": res.n_noise,
+        "shards": len(res.shard_stats),
+        "shard_grid": f"{nx}x{ny}",
+        "workers": args.shard_workers,
+        "serial_s": round(res.serial_s, 4),
+        "makespan_s": round(res.makespan_s, 4),
+        "merge_s": round(res.merge_s, 4),
+        "peak_device_bytes": res.max_peak_device_bytes,
+        "recovery": res.recovery.as_dict(),
+        "per_shard": [s.as_dict() for s in res.shard_stats],
+    }
     _emit(payload, args.json)
     return 0
 

@@ -6,6 +6,7 @@
 * :mod:`~repro.core.table_dbscan` — DBSCAN over ``T``.
 * :mod:`~repro.core.pipeline` — the S2 multi-clustering pipeline.
 * :mod:`~repro.core.reuse` — the S3 neighbor-table reuse scheme.
+* :mod:`~repro.core.sharding` — out-of-core sharded clustering.
 """
 
 from repro.core.batching import BatchConfig, BatchPlan, BatchPlanner, RecoveryStats
@@ -15,6 +16,15 @@ from repro.core.neighbor_table import NeighborTable
 from repro.core.optics import OpticsResult, extract_dbscan, optics
 from repro.core.pipeline import MultiClusterPipeline, PipelineResult
 from repro.core.reuse import ReuseResult, cluster_with_reuse
+from repro.core.sharding import (
+    ShardConfig,
+    ShardedResult,
+    ShardPlan,
+    ShardStats,
+    cluster_sharded,
+    merge_shard_labels,
+    plan_shards,
+)
 from repro.core.table_dbscan import (
     NOISE,
     dbscan_from_annotated_table,
@@ -36,6 +46,13 @@ __all__ = [
     "PipelineResult",
     "ReuseResult",
     "cluster_with_reuse",
+    "ShardConfig",
+    "ShardPlan",
+    "ShardStats",
+    "ShardedResult",
+    "cluster_sharded",
+    "merge_shard_labels",
+    "plan_shards",
     "EpsSweepResult",
     "cluster_eps_sweep",
     "OpticsResult",

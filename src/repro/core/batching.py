@@ -517,6 +517,10 @@ def _run_batches(
                 (old_cap, width), dtype, name=f"gpuResultSet{worker}"
             )
             return False
+        # retire the old staging buffer before replacing it — pinned
+        # pages are a scarce host resource and the residency accounting
+        # (and sanitizer leak-at-close) must stay truthful
+        pinned_bufs[worker].free()
         pinned_bufs[worker] = device.alloc_pinned((new_cap, width), dtype)
         return True
 
@@ -607,4 +611,7 @@ def _run_batches(
             # buffer in the list; re-freeing would be a memcheck hit
             if not buf.freed:
                 buf.free()
+        for pbuf in pinned_bufs:
+            if not pbuf.freed:
+                pbuf.free()
     return table

@@ -215,3 +215,35 @@ class HybridDBSCAN:
             n_batches=self._last_build_stats.n_batches_run,
             total_pairs=table.total_pairs,
         )
+
+    # ------------------------------------------------------------------
+    # the sharded out-of-core extension
+    # ------------------------------------------------------------------
+    def fit_sharded(
+        self, points: np.ndarray, eps: float, minpts: int, *, shard_config=None
+    ):
+        """Out-of-core HYBRID-DBSCAN over spatial shards.
+
+        Partitions the dataset into ε-aligned tiles with ε-wide halos,
+        builds each shard's table independently on a fresh bounded
+        device (this instance's kernel/batching/backend settings are
+        reused), and merges the shard-local clusterings into labels
+        bit-identical to :meth:`fit` with the components
+        implementation.  See :mod:`repro.core.sharding`.
+
+        Returns a :class:`~repro.core.sharding.ShardedResult`.
+        """
+        from repro.core.sharding import cluster_sharded
+
+        return cluster_sharded(
+            points,
+            eps,
+            minpts,
+            config=shard_config,
+            kernel=self.kernel,
+            batch_config=self.batch_config,
+            backend=self.backend,
+            block_dim=self.block_dim,
+            device_spec=self.device.spec,
+            sanitize=self.device.sanitizer is not None,
+        )

@@ -184,16 +184,23 @@ class NeighborTable:
     # preprocessing-for-reuse idea taken to disk)
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> Path:
-        """Persist the finalized table as ``.npz``."""
+        """Persist the finalized table as ``.npz``.
+
+        Metadata is stored as *typed* scalar entries (``n_points`` as
+        int64, ``eps`` as float64, ``with_distances`` as bool) — the old
+        single ``meta`` array silently upcast everything to float64,
+        which loses integer exactness once ``n_points`` exceeds 2**53.
+        :meth:`load` still accepts the legacy layout.
+        """
         self.finalize()
         path = Path(path)
         arrays = {
             "t_min": self.t_min,
             "t_max": self.t_max,
             "values": self.values,
-            "meta": np.array(
-                [self.n_points, self.eps, int(self.with_distances)]
-            ),
+            "n_points": np.int64(self.n_points),
+            "eps": np.float64(self.eps),
+            "with_distances": np.bool_(self.with_distances),
         }
         if self.with_distances:
             arrays["distances"] = self.distances
@@ -202,10 +209,21 @@ class NeighborTable:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "NeighborTable":
-        """Load a table written by :meth:`save` (validated)."""
+        """Load a table written by :meth:`save` (validated).
+
+        Accepts both the typed-scalar layout and the legacy float64
+        ``meta`` array of earlier versions.
+        """
         with np.load(Path(path)) as data:
-            n_points, eps, with_d = data["meta"]
-            table = cls(int(n_points), float(eps), with_distances=bool(with_d))
+            if "n_points" in data:
+                n_points = int(data["n_points"])
+                eps = float(data["eps"])
+                with_d = bool(data["with_distances"])
+            else:  # legacy layout: one float64 [n_points, eps, with_d]
+                n_points_f, eps, with_d = data["meta"]
+                n_points = int(n_points_f)
+                with_d = bool(with_d)
+            table = cls(n_points, float(eps), with_distances=with_d)
             table.t_min = data["t_min"].astype(np.int64)
             table.t_max = data["t_max"].astype(np.int64)
             table._values = data["values"].astype(np.int64)

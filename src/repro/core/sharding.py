@@ -1,0 +1,645 @@
+"""Sharded out-of-core HYBRID-DBSCAN.
+
+The paper's batching scheme (Section VI) lets the *result set* exceed
+GPU memory, but the dataset, grid index, and finished neighbor table
+still have to fit on one device/host at once.  This module removes that
+bound with a spatial sharding layer:
+
+1. **Partition** — the spatially sorted points are split into
+   ``kx × ky`` ε-aligned tiles (tile edges lie on global ε-cell
+   boundaries, so a tile is a rectangle of whole grid cells);
+2. **Halo exchange** — every tile is padded with an ε-wide halo (the
+   one-cell ring around the tile, cells having side ε), so each shard's
+   *interior* neighborhoods are complete: any point within ε of an
+   interior point is in the shard's point set;
+3. **Independent builds** — each shard builds its own grid index and
+   neighbor table with the *unchanged* Section VI machinery
+   (:func:`~repro.core.batching.build_neighbor_table`, batching,
+   per-batch overflow recovery, sanitizer) on its own bounded
+   :class:`~repro.gpusim.device.Device`, so per-shard device residency
+   never exceeds the configured per-shard capacity;
+4. **Local clustering** — components-DBSCAN runs per shard over the
+   interior core subgraph, and the shard table is then *dropped*: only
+   O(interior + halo-boundary) reduction arrays survive the shard;
+5. **Merge** — :func:`merge_shard_labels` unions shard-local components
+   through the core–core edges whose far endpoint lies in a halo
+   region, then re-attaches every border point to its lowest-id core
+   neighbor *globally*, so the output is bit-identical to the
+   single-device :func:`~repro.core.table_dbscan.dbscan_from_table`
+   components path.
+
+Shards execute sequentially on the host (one bounded device at a time —
+the out-of-core property) and the multi-worker makespan is modeled with
+:func:`repro.hostsim.schedule_parallel`, the same simulate-mode idiom
+the S2 pipeline uses.  This is the stepping stone to true multi-device
+execution: the per-shard reduction arrays are exactly the messages a
+distributed merge would exchange.
+
+Why this is exact
+-----------------
+Every core–core ε-edge ``(u, v)`` is observed by the shard owning ``u``'s
+interior (``v`` is in that shard by the halo guarantee).  A halo point
+that is *locally* core is globally core (its local neighborhood is a
+subset of the true one), but a locally non-core halo point may still be
+globally core — therefore halo endpoints are never classified locally;
+their edges are deferred to the merge and filtered against the global
+core mask assembled from every shard's interior.  Border attachment
+likewise combines the exact interior candidate (complete neighborhood)
+with halo candidates resolved globally.  Cluster membership is then
+identical to the single-device run, and
+:func:`~repro.core.table_dbscan.canonicalize_labels` makes the
+numbering identical too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Literal, Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import csgraph
+
+from repro.core.batching import (
+    BatchConfig,
+    RecoveryStats,
+    build_neighbor_table,
+)
+from repro.core.table_dbscan import NOISE, canonicalize_labels
+from repro.gpusim.device import Device, DeviceSpec
+from repro.hostsim import Schedule, schedule_parallel
+from repro.index.grid import GridIndex
+
+__all__ = [
+    "ShardConfig",
+    "Shard",
+    "ShardPlan",
+    "ShardStats",
+    "ShardLocalResult",
+    "ShardedResult",
+    "plan_shards",
+    "exchange_halos",
+    "run_shard",
+    "merge_shard_labels",
+    "cluster_sharded",
+]
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardConfig:
+    """Tunables of the sharding layer."""
+
+    #: tile grid (kx × ky); 1 × 1 degenerates to the single-device path
+    shards_x: int = 2
+    shards_y: int = 2
+    #: simulated shard workers for the hostsim makespan model
+    n_workers: int = 2
+    #: per-shard device global-memory capacity (None: the default
+    #: :class:`~repro.gpusim.device.DeviceSpec` capacity).  This is the
+    #: out-of-core knob: each shard must fit its index, grid arrays and
+    #: batch buffers under this cap or its build fails with OOM.
+    device_mem_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shards_x < 1 or self.shards_y < 1:
+            raise ValueError("shard grid must be at least 1x1")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.device_mem_bytes is not None and self.device_mem_bytes <= 0:
+            raise ValueError("device_mem_bytes must be positive")
+
+    @property
+    def n_tiles(self) -> int:
+        return self.shards_x * self.shards_y
+
+
+# ----------------------------------------------------------------------
+# the plan: partitioner + halo exchange
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Shard:
+    """One tile's point sets, in *global sorted* id space."""
+
+    #: tile coordinates in the shard grid
+    tx: int
+    ty: int
+    #: global cell-column/row range [cx0, cx1) × [cy0, cy1) of the tile
+    cx0: int
+    cx1: int
+    cy0: int
+    cy1: int
+    #: ids of points interior to the tile (each point is interior to
+    #: exactly one shard)
+    interior_ids: np.ndarray
+    #: ids of the ε-halo: points in the one-cell ring around the tile
+    halo_ids: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        return len(self.interior_ids) + len(self.halo_ids)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Output of :func:`plan_shards` — the partition plus the global
+    spatial sort that defines the shared id space."""
+
+    eps: float
+    config: ShardConfig
+    #: global ε-cell grid dimensions (as the single-device index uses)
+    nx: int
+    ny: int
+    #: points in global spatial sort order (the shared ``D``)
+    points: np.ndarray
+    #: permutation such that ``points == original[sort_order]``
+    sort_order: np.ndarray
+    #: non-empty shards only (tiles without interior points are skipped)
+    shards: tuple[Shard, ...]
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+def _global_cell_coords(
+    pts: np.ndarray, eps: float
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Per-point ε-cell coordinates of the *global* grid (identical to
+    what :meth:`GridIndex.build` computes for the whole dataset)."""
+    xmin, ymin = pts.min(axis=0)
+    xmax, ymax = pts.max(axis=0)
+    nx = max(1, int(np.floor((xmax - xmin) / eps)) + 1)
+    ny = max(1, int(np.floor((ymax - ymin) / eps)) + 1)
+    cx = np.floor((pts[:, 0] - xmin) / eps).astype(np.int64)
+    cy = np.floor((pts[:, 1] - ymin) / eps).astype(np.int64)
+    np.clip(cx, 0, nx - 1, out=cx)
+    np.clip(cy, 0, ny - 1, out=cy)
+    return cx, cy, nx, ny
+
+
+def exchange_halos(
+    cx: np.ndarray,
+    cy: np.ndarray,
+    bounds: tuple[int, int, int, int],
+) -> np.ndarray:
+    """Ids of the ε-halo of one tile: points whose cell lies in the
+    one-cell ring around ``bounds = (cx0, cx1, cy0, cy1)``.
+
+    Because grid cells have side ε, the ring contains every point
+    within ε of the tile rectangle — the completeness guarantee the
+    per-shard neighbor tables rely on.  (On a real multi-GPU system
+    this is the neighbor-to-neighbor exchange step; here it is a mask
+    over the shared host array.)
+    """
+    cx0, cx1, cy0, cy1 = bounds
+    in_expanded = (
+        (cx >= cx0 - 1) & (cx < cx1 + 1) & (cy >= cy0 - 1) & (cy < cy1 + 1)
+    )
+    in_tile = (cx >= cx0) & (cx < cx1) & (cy >= cy0) & (cy < cy1)
+    return np.flatnonzero(in_expanded & ~in_tile).astype(np.int64)
+
+
+def plan_shards(
+    points: np.ndarray, eps: float, config: Optional[ShardConfig] = None
+) -> ShardPlan:
+    """Partition ``points`` into ε-aligned tiles with ε-wide halos.
+
+    The points are first put in the same global spatial sort order the
+    single-device path uses, so shard-local ids are order-preserving
+    slices of one shared id space (a subsequence of a sorted array is
+    sorted — each shard can build its grid with ``presorted=True``).
+    """
+    cfg = config or ShardConfig()
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] < 2:
+        raise ValueError("points must be an (n, 2) array")
+    pts = np.ascontiguousarray(pts[:, :2])
+    if len(pts) == 0:
+        raise ValueError("cannot shard an empty dataset")
+
+    order = GridIndex.spatial_sort_order(pts)
+    spts = np.ascontiguousarray(pts[order])
+    cx, cy, nx, ny = _global_cell_coords(spts, eps)
+
+    # ε-aligned tiles: whole-cell rectangles of ceil(n/k) cells per side
+    cpt_x = -(-nx // cfg.shards_x)  # ceil div
+    cpt_y = -(-ny // cfg.shards_y)
+    shards: list[Shard] = []
+    for ty in range(cfg.shards_y):
+        cy0, cy1 = ty * cpt_y, min((ty + 1) * cpt_y, ny)
+        if cy0 >= ny:
+            break
+        for tx in range(cfg.shards_x):
+            cx0, cx1 = tx * cpt_x, min((tx + 1) * cpt_x, nx)
+            if cx0 >= nx:
+                break
+            in_tile = (cx >= cx0) & (cx < cx1) & (cy >= cy0) & (cy < cy1)
+            interior = np.flatnonzero(in_tile).astype(np.int64)
+            if len(interior) == 0:
+                continue  # empty tile: nothing is interior here
+            halo = exchange_halos(cx, cy, (cx0, cx1, cy0, cy1))
+            shards.append(
+                Shard(
+                    tx=tx, ty=ty,
+                    cx0=cx0, cx1=cx1, cy0=cy0, cy1=cy1,
+                    interior_ids=interior, halo_ids=halo,
+                )
+            )
+    return ShardPlan(
+        eps=float(eps),
+        config=cfg,
+        nx=nx,
+        ny=ny,
+        points=spts,
+        sort_order=order,
+        shards=tuple(shards),
+    )
+
+
+# ----------------------------------------------------------------------
+# per-shard execution
+# ----------------------------------------------------------------------
+@dataclass
+class ShardStats:
+    """Accounting of one shard's build + local clustering."""
+
+    tx: int
+    ty: int
+    n_interior: int
+    n_halo: int
+    #: pairs in the shard's neighbor table
+    n_pairs: int = 0
+    n_batches: int = 0
+    build_s: float = 0.0
+    #: local components + reduction time
+    reduce_s: float = 0.0
+    #: peak device global-memory residency of the shard's build (bytes)
+    peak_device_bytes: int = 0
+    #: peak pinned staging residency of the shard's build (bytes)
+    peak_pinned_bytes: int = 0
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+
+    @property
+    def shard_s(self) -> float:
+        """Wall seconds of the whole shard task (the hostsim duration)."""
+        return self.build_s + self.reduce_s
+
+    def as_dict(self) -> dict:
+        return {
+            "tile": [self.tx, self.ty],
+            "n_interior": self.n_interior,
+            "n_halo": self.n_halo,
+            "n_pairs": self.n_pairs,
+            "n_batches": self.n_batches,
+            "build_s": round(self.build_s, 6),
+            "reduce_s": round(self.reduce_s, 6),
+            "peak_device_bytes": self.peak_device_bytes,
+            "peak_pinned_bytes": self.peak_pinned_bytes,
+            "recovery": self.recovery.as_dict(),
+        }
+
+
+@dataclass
+class ShardLocalResult:
+    """What survives a shard after its table is dropped.
+
+    Everything is in global sorted id space and O(interior + boundary):
+    the full shard neighbor table never leaves the shard.
+    """
+
+    #: the shard's interior point ids
+    interior_ids: np.ndarray
+    #: core mask aligned with ``interior_ids`` (globally exact: interior
+    #: neighborhoods are complete)
+    interior_core: np.ndarray
+    #: (member, local-component-representative) edges over interior core
+    #: points — the shard-local components-DBSCAN result
+    comp_edges: np.ndarray
+    #: (interior-core, halo) candidate core–core edges; the halo
+    #: endpoint's core status is resolved at merge time
+    cross_edges: np.ndarray
+    #: (interior-non-core, lowest *interior* core neighbor) pairs
+    border_interior: np.ndarray
+    #: (interior-non-core, halo neighbor) candidate attachments
+    border_halo_edges: np.ndarray
+    stats: ShardStats
+
+
+def _first_per_key(src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """For each unique ``src``, the minimum ``dst`` (vectorized)."""
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    first = np.concatenate(([True], src[1:] != src[:-1]))
+    return src[first], dst[first]
+
+
+def run_shard(
+    plan: ShardPlan,
+    shard: Shard,
+    minpts: int,
+    device: Device,
+    *,
+    kernel: Literal["global", "shared"] = "global",
+    batch_config: Optional[BatchConfig] = None,
+    backend: str = "vector",
+    block_dim: int = 256,
+) -> ShardLocalResult:
+    """Build one shard's table, cluster its interior, reduce, drop.
+
+    The shard's grid and neighbor table are built with the unchanged
+    Section VI machinery on ``device`` (sized by the caller — this is
+    where the per-shard memory cap is enforced), then reduced to the
+    O(interior + boundary) arrays of :class:`ShardLocalResult`; the
+    table itself is garbage once this function returns.
+    """
+    if minpts < 1:
+        raise ValueError("minpts must be >= 1")
+    stats = ShardStats(
+        tx=shard.tx,
+        ty=shard.ty,
+        n_interior=len(shard.interior_ids),
+        n_halo=len(shard.halo_ids),
+    )
+
+    t0 = time.perf_counter()
+    # shard-local id space: global sorted ids, order preserved
+    ids = np.sort(np.concatenate([shard.interior_ids, shard.halo_ids]))
+    sub = np.ascontiguousarray(plan.points[ids])
+    grid = GridIndex.build(sub, plan.eps, presorted=True)
+    table, build_stats = build_neighbor_table(
+        grid,
+        device,
+        kernel=kernel,
+        config=batch_config,
+        backend=backend,
+        block_dim=block_dim,
+    )
+    stats.build_s = time.perf_counter() - t0
+    stats.n_pairs = table.total_pairs
+    stats.n_batches = build_stats.n_batches_run
+    stats.recovery = build_stats.recovery
+
+    t1 = time.perf_counter()
+    n_local = len(ids)
+    interior_pos = np.searchsorted(ids, shard.interior_ids)
+    is_interior = np.zeros(n_local, dtype=bool)
+    is_interior[interior_pos] = True
+
+    counts = table.neighbor_counts()
+    # interior neighborhoods are complete -> exact global core status;
+    # halo neighborhoods are clipped -> never classified here
+    local_core = counts >= minpts
+    interior_core = local_core & is_interior
+
+    core_local = np.flatnonzero(interior_core)
+    comp_edges = np.empty((0, 2), dtype=np.int64)
+    cross_edges = np.empty((0, 2), dtype=np.int64)
+    if len(core_local):
+        src, dst = table.edges_for(core_local)
+        # (a) interior-core -> interior-core: the local component graph
+        cc = interior_core[dst]
+        csrc, cdst = src[cc], dst[cc]
+        lindex = np.full(n_local, -1, dtype=np.int64)
+        lindex[core_local] = np.arange(len(core_local))
+        g = sparse.csr_matrix(
+            (
+                np.ones(len(csrc), dtype=np.int8),
+                (lindex[csrc], lindex[cdst]),
+            ),
+            shape=(len(core_local), len(core_local)),
+        )
+        _, comp = csgraph.connected_components(g, directed=False)
+        # shard-local labels compress to one (member, representative)
+        # edge per interior core point; representative = lowest global id
+        gids_core = ids[core_local]
+        rep = np.full(comp.max() + 1, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(rep, comp, gids_core)
+        comp_edges = np.column_stack([gids_core, rep[comp]])
+        # (b) interior-core -> halo: candidate core–core merge edges;
+        # the halo endpoint may or may not be globally core
+        xc = ~is_interior[dst]
+        cross_edges = np.column_stack([ids[src[xc]], ids[dst[xc]]])
+
+    border_local = np.flatnonzero(is_interior & ~local_core)
+    border_interior = np.empty((0, 2), dtype=np.int64)
+    border_halo_edges = np.empty((0, 2), dtype=np.int64)
+    if len(border_local):
+        bsrc, bdst = table.edges_for(border_local)
+        # exact candidates among interior neighbors (core status known)
+        bi = interior_core[bdst]
+        if bi.any():
+            u, v = _first_per_key(ids[bsrc[bi]], ids[bdst[bi]])
+            border_interior = np.column_stack([u, v])
+        # halo neighbors: core status resolved at merge
+        bh = ~is_interior[bdst]
+        border_halo_edges = np.column_stack([ids[bsrc[bh]], ids[bdst[bh]]])
+    stats.reduce_s = time.perf_counter() - t1
+    stats.peak_device_bytes = device.memory.peak_bytes
+    stats.peak_pinned_bytes = device.pinned.peak_bytes
+
+    return ShardLocalResult(
+        interior_ids=shard.interior_ids,
+        interior_core=interior_core[interior_pos],
+        comp_edges=comp_edges,
+        cross_edges=cross_edges,
+        border_interior=border_interior,
+        border_halo_edges=border_halo_edges,
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# the merge
+# ----------------------------------------------------------------------
+def merge_shard_labels(
+    n_points: int, locals_: list[ShardLocalResult]
+) -> np.ndarray:
+    """Union shard-local clusterings into global labels (sorted order).
+
+    A union-find (via sparse connected components) over the shard-local
+    component edges plus every cross-shard core–core edge whose halo
+    endpoint is globally core; border points are then attached to their
+    lowest-id core neighbor *globally*.  Produces exactly the label
+    array :func:`~repro.core.table_dbscan.dbscan_from_table_components`
+    would on the whole dataset.
+    """
+    labels = np.full(n_points, NOISE, dtype=np.int64)
+    if not locals_:
+        return labels
+
+    # global core mask from the shards' exact interior classifications
+    is_core = np.zeros(n_points, dtype=bool)
+    for lr in locals_:
+        is_core[lr.interior_ids[lr.interior_core]] = True
+    core_ids = np.flatnonzero(is_core)
+    if len(core_ids) == 0:
+        return labels
+
+    # the merge graph: local component edges + validated cross edges
+    edge_parts = []
+    for lr in locals_:
+        if len(lr.comp_edges):
+            edge_parts.append(lr.comp_edges)
+        if len(lr.cross_edges):
+            keep = is_core[lr.cross_edges[:, 1]]
+            if keep.any():
+                edge_parts.append(lr.cross_edges[keep])
+    core_index = np.full(n_points, -1, dtype=np.int64)
+    core_index[core_ids] = np.arange(len(core_ids))
+    if edge_parts:
+        edges = np.concatenate(edge_parts)
+        g = sparse.csr_matrix(
+            (
+                np.ones(len(edges), dtype=np.int8),
+                (core_index[edges[:, 0]], core_index[edges[:, 1]]),
+            ),
+            shape=(len(core_ids), len(core_ids)),
+        )
+    else:  # isolated core points only
+        g = sparse.csr_matrix((len(core_ids), len(core_ids)), dtype=np.int8)
+    _, comp = csgraph.connected_components(g, directed=False)
+    labels[core_ids] = comp
+
+    # border attachment: lowest-id core neighbor across ALL shards'
+    # candidates (exact interior candidate + globally-core halo ones)
+    att_parts = []
+    for lr in locals_:
+        if len(lr.border_interior):
+            att_parts.append(lr.border_interior)
+        if len(lr.border_halo_edges):
+            keep = is_core[lr.border_halo_edges[:, 1]]
+            if keep.any():
+                att_parts.append(lr.border_halo_edges[keep])
+    if att_parts:
+        att = np.concatenate(att_parts)
+        u, v = _first_per_key(att[:, 0], att[:, 1])
+        labels[u] = labels[v]
+    return canonicalize_labels(labels)
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+@dataclass
+class ShardedResult:
+    """Labels (original point order) plus sharded-run accounting."""
+
+    labels: np.ndarray
+    eps: float
+    minpts: int
+    plan: ShardPlan
+    shard_stats: list[ShardStats]
+    #: wall seconds of the sequential host execution
+    serial_s: float = 0.0
+    #: merge phase wall seconds
+    merge_s: float = 0.0
+    #: modeled makespan over ``config.n_workers`` shard workers
+    schedule: Optional[Schedule] = None
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.labels.max()) + 1 if (self.labels != NOISE).any() else 0
+
+    @property
+    def n_noise(self) -> int:
+        return int((self.labels == NOISE).sum())
+
+    @property
+    def makespan_s(self) -> float:
+        """Modeled multi-worker wall time (plus the serial merge)."""
+        base = self.schedule.makespan_s if self.schedule else self.serial_s
+        return base + self.merge_s
+
+    @property
+    def max_peak_device_bytes(self) -> int:
+        """Worst per-shard device residency — the out-of-core bound."""
+        return max((s.peak_device_bytes for s in self.shard_stats), default=0)
+
+    @property
+    def recovery(self) -> RecoveryStats:
+        total = RecoveryStats()
+        for s in self.shard_stats:
+            total.merge(s.recovery)
+        return total
+
+
+def cluster_sharded(
+    points: np.ndarray,
+    eps: float,
+    minpts: int,
+    *,
+    config: Optional[ShardConfig] = None,
+    kernel: Literal["global", "shared"] = "global",
+    batch_config: Optional[BatchConfig] = None,
+    backend: str = "vector",
+    block_dim: int = 256,
+    device_spec: Optional[DeviceSpec] = None,
+    sanitize: Optional[bool] = None,
+) -> ShardedResult:
+    """Out-of-core HYBRID-DBSCAN over ``kx × ky`` spatial shards.
+
+    Each shard runs on a fresh bounded :class:`Device` (capacity
+    ``config.device_mem_bytes``), one at a time — the device never holds
+    more than one shard's working set.  Shard wall times feed the
+    hostsim multi-worker schedule; the merge runs on the host after all
+    shards.  Labels are bit-identical to
+    ``HybridDBSCAN(...).fit(points, eps, minpts)`` with the components
+    implementation.
+    """
+    cfg = config or ShardConfig()
+    plan = plan_shards(points, eps, config=cfg)
+    spec = device_spec or DeviceSpec()
+    if cfg.device_mem_bytes is not None:
+        spec = replace(spec, global_mem_bytes=cfg.device_mem_bytes)
+
+    locals_: list[ShardLocalResult] = []
+    t0 = time.perf_counter()
+    for shard in plan.shards:
+        device = Device(spec, sanitize=sanitize)
+        try:
+            locals_.append(
+                run_shard(
+                    plan,
+                    shard,
+                    minpts,
+                    device,
+                    kernel=kernel,
+                    batch_config=batch_config,
+                    backend=backend,
+                    block_dim=block_dim,
+                )
+            )
+        finally:
+            device.close()
+    serial_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    labels_sorted = merge_shard_labels(plan.n_points, locals_)
+    labels = np.empty_like(labels_sorted)
+    labels[plan.sort_order] = labels_sorted
+    merge_s = time.perf_counter() - t1
+
+    stats = [lr.stats for lr in locals_]
+    sched = schedule_parallel(
+        [s.shard_s for s in stats], cfg.n_workers
+    ) if stats else None
+    return ShardedResult(
+        labels=labels,
+        eps=float(eps),
+        minpts=int(minpts),
+        plan=plan,
+        shard_stats=stats,
+        serial_s=serial_s,
+        merge_s=merge_s,
+        schedule=sched,
+    )

@@ -26,6 +26,7 @@ from repro.gpusim.memory import (
     DeviceBuffer,
     DeviceMemoryError,
     PinnedHostBuffer,
+    PinnedMemoryPool,
     ResultBufferOverflow,
 )
 from repro.gpusim.launch import Kernel, LaunchConfig, launch
@@ -53,6 +54,7 @@ __all__ = [
     "DeviceBuffer",
     "DeviceMemoryError",
     "PinnedHostBuffer",
+    "PinnedMemoryPool",
     "ResultBufferOverflow",
     "FaultInjector",
     "FaultSpec",

@@ -27,6 +27,7 @@ from repro.gpusim.memory import (
     DeviceBuffer,
     GlobalMemoryPool,
     PinnedHostBuffer,
+    PinnedMemoryPool,
     ResultBuffer,
 )
 from repro.gpusim.profiler import Profiler, TransferRecord
@@ -80,6 +81,7 @@ class Device:
         self.spec = spec or DeviceSpec()
         self.cost = cost_model or self.spec.cost_model()
         self.memory = GlobalMemoryPool(self.spec.global_mem_bytes)
+        self.pinned = PinnedMemoryPool()
         self.profiler = Profiler()
         self.timeline = Timeline()
         self.default_stream = Stream(self.timeline, name="default")
@@ -93,6 +95,7 @@ class Device:
             Sanitizer(mode=sanitize_mode) if enabled else None
         )
         self.memory.sanitizer = self.sanitizer
+        self.pinned.sanitizer = self.sanitizer
 
     def check_fault(self, kind: str) -> None:
         """Give the attached :class:`FaultInjector` (if any) a chance to
@@ -135,11 +138,20 @@ class Device:
         *,
         name: str = "pinned",
     ) -> PinnedHostBuffer:
-        """Allocate page-locked host memory (charged by the cost model)."""
+        """Allocate page-locked host memory (charged by the cost model).
+
+        The buffer is registered with the device's
+        :class:`~repro.gpusim.memory.PinnedMemoryPool`; call its
+        ``free()`` when the staging buffer is retired so pinned
+        residency accounting (and the sanitizer's leak-at-close check)
+        stays truthful.
+        """
         arr = np.empty(shape, dtype=dtype)
         ms = self.cost.pinned_alloc_time_ms(arr.nbytes)
         self.profiler.record_pinned_alloc(ms)
-        return PinnedHostBuffer(data=arr, alloc_time_ms=ms, name=name)
+        buf = PinnedHostBuffer(data=arr, alloc_time_ms=ms, name=name)
+        self.pinned.register(buf)
+        return buf
 
     # ------------------------------------------------------------------
     # transfers
@@ -263,8 +275,13 @@ class Device:
         """Live (never-freed) device allocations."""
         return self.memory.leaked_buffers()
 
+    def leaked_pinned(self) -> list[PinnedHostBuffer]:
+        """Live (never-freed) pinned host allocations."""
+        return self.pinned.leaked_buffers()
+
     def close(self) -> Optional[SanitizerReport]:
-        """Teardown check: report leaked allocations to the sanitizer.
+        """Teardown check: report leaked device *and* pinned allocations
+        to the sanitizer.
 
         Returns the sanitizer report (``None`` on unsanitized devices).
         Leaks are reported, never raised — teardown must not mask the
@@ -273,4 +290,5 @@ class Device:
         if self.sanitizer is None:
             return None
         self.sanitizer.check_leaks(self.memory)
+        self.sanitizer.check_leaks(self.pinned)
         return self.sanitizer.report

@@ -24,6 +24,7 @@ __all__ = [
     "ResultBuffer",
     "PinnedHostBuffer",
     "GlobalMemoryPool",
+    "PinnedMemoryPool",
 ]
 
 
@@ -160,11 +161,18 @@ class PinnedHostBuffer:
     exists to minimize.  Pinned buffers share the device-buffer id space
     so the sanitizer can track staging-buffer accesses (two streams
     staging through one pinned buffer is the canonical Section VI race).
+
+    Buffers handed out by :meth:`Device.alloc_pinned
+    <repro.gpusim.device.Device.alloc_pinned>` are registered with the
+    device's :class:`PinnedMemoryPool`; call :meth:`free` when the
+    staging buffer is retired (regrow, build teardown) so pinned
+    residency accounting stays truthful.
     """
 
     data: np.ndarray
     alloc_time_ms: float
     name: str = ""
+    pool: Optional["PinnedMemoryPool"] = None
     buffer_id: int = field(default_factory=lambda: next(_buffer_ids))
     freed: bool = False
 
@@ -174,6 +182,79 @@ class PinnedHostBuffer:
 
     def __len__(self) -> int:
         return len(self.data)
+
+    def free(self) -> None:
+        """Release the page-locked allocation.
+
+        Mirrors :meth:`DeviceBuffer.free`: a second ``free()`` is a
+        silent no-op on plain devices but a ``double-free`` memcheck
+        violation under the sanitizer.
+        """
+        if self.freed:
+            san = getattr(self.pool, "sanitizer", None)
+            if san is not None:
+                san.on_double_free(self)
+            return
+        self.freed = True
+        if self.pool is not None:
+            self.pool.release_buffer(self)
+
+    def __enter__(self) -> "PinnedHostBuffer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.free()
+
+
+class PinnedMemoryPool:
+    """Residency accounting for page-locked host memory.
+
+    Unlike device global memory, pinned host memory is not
+    capacity-bounded here — but page-locked pages are a scarce host
+    resource, so the pool tracks every live :class:`PinnedHostBuffer`
+    (:meth:`leaked_buffers` is the teardown leak report) and the
+    used/peak byte counters the batching and sharding layers account
+    against.
+    """
+
+    def __init__(self) -> None:
+        self._used = 0
+        self._lock = threading.Lock()
+        self.peak_bytes = 0
+        self._live: dict[int, "PinnedHostBuffer"] = {}
+        #: optional sanitizer (set by the owning Device; duck-typed)
+        self.sanitizer = None
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def live_count(self) -> int:
+        with self._lock:
+            return len(self._live)
+
+    def register(self, buf: "PinnedHostBuffer") -> None:
+        """Adopt a freshly allocated pinned buffer into the accounting."""
+        buf.pool = self
+        with self._lock:
+            self._used += buf.nbytes
+            self.peak_bytes = max(self.peak_bytes, self._used)
+            self._live[buf.buffer_id] = buf
+
+    def release_buffer(self, buf: "PinnedHostBuffer") -> None:
+        with self._lock:
+            self._used -= buf.nbytes
+            if self._used < 0:  # pragma: no cover - defensive
+                raise RuntimeError("pinned memory pool underflow")
+            self._live.pop(buf.buffer_id, None)
+        if self.sanitizer is not None:
+            self.sanitizer.on_free(buf)
+
+    def leaked_buffers(self) -> list["PinnedHostBuffer"]:
+        """Live (never-freed) pinned allocations."""
+        with self._lock:
+            return list(self._live.values())
 
 
 class GlobalMemoryPool:

@@ -363,9 +363,14 @@ class Sanitizer:
         with self._lock:
             self._accesses.pop(buf.buffer_id, None)
 
-    def check_leaks(self, pool: "GlobalMemoryPool") -> None:
+    def check_leaks(self, pool) -> None:
         """Record a leak violation per live allocation (teardown report;
-        never raises — leaks are reported, not fatal)."""
+        never raises — leaks are reported, not fatal).
+
+        ``pool`` is any object with ``leaked_buffers()`` — the device's
+        :class:`~repro.gpusim.memory.GlobalMemoryPool` or its
+        :class:`~repro.gpusim.memory.PinnedMemoryPool`.
+        """
         for buf in pool.leaked_buffers():
             self._violation(
                 "leak",

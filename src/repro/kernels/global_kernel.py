@@ -178,7 +178,9 @@ class GPUCalcGlobal(Kernel):
         n_cand = len(rep_ids)
         counters.distance_calcs += n_cand
         counters.global_loads += 2 * len(ids)  # own coords
-        counters.global_loads += 2 * 9 * len(ids)  # cell range lookups
+        # cell range lookups: only in-grid neighbor cells are ever read
+        # (the SIMT path bounds-checks before touching G)
+        counters.global_loads += 2 * int(valid.sum())
         counters.global_loads += 3 * n_cand  # A[a] + candidate coords
         counters.atomics += len(keys)
         counters.global_stores += (3 if emit_distance else 2) * len(keys)

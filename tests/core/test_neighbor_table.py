@@ -101,6 +101,80 @@ class TestQueries:
         assert t.total_pairs == 3
 
 
+class TestPersistence:
+    @given(
+        spec=st.integers(min_value=1, max_value=12).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(
+                        st.integers(0, n - 1), st.integers(0, n - 1)
+                    ),
+                    max_size=60,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_save_load_roundtrip(self, tmp_path_factory, spec):
+        """Any table survives the .npz round trip exactly."""
+        n, pairs = spec
+        t = table_from_pairs(n, pairs)
+        path = t.save(tmp_path_factory.mktemp("nt") / "t.npz")
+        back = NeighborTable.load(path)
+        assert back.n_points == t.n_points
+        assert back.eps == t.eps
+        assert not back.with_distances
+        assert np.array_equal(back.t_min, t.t_min)
+        assert np.array_equal(back.t_max, t.t_max)
+        assert np.array_equal(back.values, t.values)
+
+    def test_annotated_roundtrip(self, tmp_path):
+        t = NeighborTable(3, eps=0.5, with_distances=True)
+        keys = np.array([0, 0, 2])
+        vals = np.array([0, 1, 2])
+        dist = np.array([0.0, 0.25, 0.1])
+        t.add_batch(keys, vals, distances=dist)
+        path = t.save(tmp_path / "annotated.npz")
+        back = NeighborTable.load(path)
+        assert back.with_distances
+        assert np.array_equal(back.values, t.values)
+        assert np.array_equal(back.distances, dist)
+        assert back.neighbor_distances(0).tolist() == [0.0, 0.25]
+
+    def test_metadata_types_exact(self, tmp_path):
+        """Regression: metadata used to be one float64 array, silently
+        casting n_points/with_distances.  The typed layout keeps an
+        int64 n_points exact (float64 loses integers above 2**53)."""
+        t = table_from_pairs(4, [(0, 0), (3, 1)])
+        path = t.save(tmp_path / "t.npz")
+        with np.load(path) as data:
+            assert data["n_points"].dtype == np.int64
+            assert data["eps"].dtype == np.float64
+            assert data["with_distances"].dtype == np.bool_
+        big = (1 << 53) + 1  # not representable in float64
+        assert int(np.int64(big)) == big
+        assert int(np.float64(big)) != big
+
+    def test_legacy_meta_layout_accepted(self, tmp_path):
+        """Tables written by the old float64-meta format still load."""
+        t = table_from_pairs(3, [(0, 0), (0, 1), (2, 2)])
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            t_min=t.t_min,
+            t_max=t.t_max,
+            values=t.values,
+            meta=np.array([t.n_points, t.eps, 0.0]),
+        )
+        back = NeighborTable.load(path)
+        assert back.n_points == 3
+        assert back.eps == 1.0
+        assert not back.with_distances
+        assert back.neighbors(0).tolist() == [0, 1]
+        assert back.neighbors(2).tolist() == [2]
+
+
 class TestValidation:
     def test_validate_catches_gap(self):
         t = table_from_pairs(3, [(0, 0), (1, 1)])

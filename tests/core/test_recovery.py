@@ -158,6 +158,37 @@ class TestRegrowBounds:
             build_neighbor_table(grid, Device(), config=cfg, plan=plan)
 
 
+class TestPinnedAccounting:
+    def test_regrow_releases_old_pinned_staging(self, reference):
+        """Regression: regrow used to orphan the pre-grow pinned staging
+        buffer — the teardown freed only the current generation, so the
+        pinned pool reported phantom residency forever after.  A forced
+        regrow must leave zero live pinned buffers and a leak-free
+        sanitized close."""
+        cfg = _cfg(recovery="regrow")
+        plan = _plan(cfg)
+        device = Device(sanitize=True)
+        table, stats = build_neighbor_table(
+            _grid(), device, config=cfg, plan=plan,
+            faults=FaultInjector.overflow_at(3),
+        )
+        assert stats.recovery.regrows == 1
+        assert _neighbors(table) == reference
+        assert device.pinned.live_count == 0
+        assert device.pinned.used_bytes == 0
+        assert device.pinned.peak_bytes > 0
+        assert device.memory.used_bytes == 0
+        report = device.close()  # sanitizer leak check (device + pinned)
+        assert report.clean, report.render()
+
+    def test_fault_free_build_releases_pinned(self):
+        cfg = _cfg()
+        device = Device(sanitize=True)
+        build_neighbor_table(_grid(), device, config=cfg, plan=_plan(cfg))
+        assert device.pinned.live_count == 0
+        assert device.close().clean
+
+
 class TestStatsReset:
     def test_failed_restart_attempts_excluded_from_phase_stats(
         self, monkeypatch

@@ -14,12 +14,29 @@ class TestSampleIds:
         ids = sample_point_ids(1000, 0.01)
         assert len(ids) == 10
 
-    def test_strided_spacing(self):
+    def test_even_spacing(self):
         ids = sample_point_ids(1000, 0.01)
-        assert np.all(np.diff(ids) == 100)
+        diffs = np.diff(ids)
+        assert diffs.max() - diffs.min() <= 1
+
+    def test_covers_full_extent(self):
+        """The tail of the point array must be sampled even when
+        ``n_points % n_sample != 0`` (the old truncated-stride bias)."""
+        for n, f in ((1003, 0.01), (997, 0.013), (77, 0.1), (1000, 0.01)):
+            ids = sample_point_ids(n, f)
+            assert ids[0] == 0
+            assert ids[-1] == n - 1 or len(ids) == 1
+            assert np.all(np.diff(ids) >= 1)  # strictly increasing
+            assert len(ids) == max(1, int(np.ceil(f * n)))
+
+    def test_deterministic(self):
+        a = sample_point_ids(12345, 0.017)
+        b = sample_point_ids(12345, 0.017)
+        assert np.array_equal(a, b)
 
     def test_full_fraction(self):
-        assert len(sample_point_ids(50, 1.0)) == 50
+        ids = sample_point_ids(50, 1.0)
+        assert np.array_equal(ids, np.arange(50))
 
     def test_tiny_dataset(self):
         assert len(sample_point_ids(3, 0.01)) == 1
@@ -61,6 +78,29 @@ class TestCountKernel:
         assert self._run(device, grid, ids) == self._run(
             device, grid, ids, backend="interpreter"
         )
+
+    def test_backend_counters_agree(self, device, rng):
+        """Both backends charge identical counters, including for points
+        in boundary cells whose 9-neighborhood leaves the grid (the
+        Table-2 kernel-efficiency metrics compare these numbers)."""
+        pts = rng.random((60, 2)) * 2  # ~4x4 cells: mostly boundary
+        grid = GridIndex.build(pts, 0.5)
+        ids = np.arange(len(grid), dtype=np.int64)
+        k = NeighborCountKernel()
+        cfg = NeighborCountKernel.launch_config(len(ids), block_dim=32)
+        rv = launch(k, cfg, device, grid=grid, sample_ids=ids)
+        counter = device.allocate(1, np.int64, fill=0)
+        ga = grid.device_arrays()
+        ri = launch(
+            k, cfg, device, backend="interpreter",
+            D=ga["D"], A=ga["A"], G_min=ga["G_min"], G_max=ga["G_max"],
+            eps=grid.eps, xmin=grid.xmin, ymin=grid.ymin,
+            nx=grid.nx, ny=grid.ny, sample_ids=ids, counter=counter,
+        )
+        assert rv.counters.global_loads == ri.counters.global_loads
+        assert rv.counters.distance_calcs == ri.counters.distance_calcs
+        assert rv.counters.atomics == ri.counters.atomics
+        assert rv.counters.divergent_threads == ri.counters.divergent_threads
 
     def test_estimate_accuracy_uniform(self, device, rng):
         """On near-uniform data a 5% strided sample estimates the total

@@ -39,6 +39,8 @@ class TestCorrectness:
         assert pv == pi
         assert rv.counters.distance_calcs == ri.counters.distance_calcs
         assert rv.counters.atomics == ri.counters.atomics
+        # cell-range loads count only in-grid neighbor cells in both paths
+        assert rv.counters.global_loads == ri.counters.global_loads
 
     def test_clustered_data(self, device, blobs_points):
         grid = GridIndex.build(blobs_points, 0.5)

@@ -60,6 +60,35 @@ class TestCluster:
         )
         assert code == 0
 
+    def test_sharded_matches_single(self, capsys, points_file, tmp_path):
+        single = tmp_path / "single.npy"
+        sharded = tmp_path / "sharded.npy"
+        code, _ = run_json(
+            capsys,
+            ["cluster", points_file, "--eps", "0.5", "--minpts", "5",
+             "--labels-out", str(single)],
+        )
+        assert code == 0
+        code, payload = run_json(
+            capsys,
+            ["cluster", points_file, "--eps", "0.5", "--minpts", "5",
+             "--shards", "2", "2", "--shard-mem-mb", "4",
+             "--labels-out", str(sharded)],
+        )
+        assert code == 0
+        assert np.array_equal(np.load(single), np.load(sharded))
+        assert payload["shard_grid"] == "2x2"
+        assert payload["shards"] >= 1
+        assert payload["peak_device_bytes"] <= 4 * (1 << 20)
+        assert len(payload["per_shard"]) == payload["shards"]
+
+    def test_sharded_rejects_fault_injection(self, capsys, points_file):
+        code = main(
+            ["cluster", points_file, "--eps", "0.5",
+             "--shards", "2", "2", "--inject-overflow", "1"]
+        )
+        assert code == 2
+
     def test_text_output(self, capsys, points_file):
         code, out = run_cli(capsys, ["cluster", points_file, "--eps", "0.5"])
         assert code == 0
