@@ -232,6 +232,10 @@ def ablations() -> str:
         ("BENCH_shards", "sharded out-of-core clustering (extension)",
          "per-shard peak residency stays under the cap (below the "
          "single-device peak); labels bit-identical at every shard grid"),
+        ("BENCH_shard_recovery", "shard-level fault recovery (extension)",
+         "wholesale shard faults (device OOM, device loss) are absorbed "
+         "by retry/fallback or quad-split without recomputing finished "
+         "shards; labels bit-identical under every policy"),
         ("bandwidth_model", "bandwidth model (future work)",
          "device phase accelerates toward NVLink; saturates when compute-bound"),
     ]

@@ -35,6 +35,7 @@ from repro.core import (
     HybridDBSCAN,
     MultiClusterPipeline,
     ShardConfig,
+    ShardFailureError,
     VariantSet,
     cluster_eps_sweep,
     cluster_sharded,
@@ -43,7 +44,7 @@ from repro.core import (
     optics,
 )
 from repro.data import DATASETS, dataset, density_profile, load_points
-from repro.gpusim import Device, FaultInjector, FaultSpec
+from repro.gpusim import Device, FaultInjector, FaultSpec, derive_seed
 
 __all__ = ["main", "build_parser"]
 
@@ -114,7 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--inject-overflow", type=int, nargs="*", metavar="BATCH", default=None,
         help="fault injection: overflow the result buffer at these batch "
-             "indices (exercises the recovery path)",
+             "indices (exercises the recovery path; with --shards, every "
+             "shard gets its own derived-seed injector)",
     )
     c.add_argument(
         "--inject-transfer", type=int, nargs="*", metavar="BATCH", default=None,
@@ -132,6 +134,34 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--shard-mem-mb", type=float, default=None,
         help="per-shard device memory cap in MiB (out-of-core budget)",
+    )
+    c.add_argument(
+        "--shard-retries", type=int, default=2,
+        help="per-shard retry budget: wholesale shard faults are retried "
+             "on a fresh fallback device this many times",
+    )
+    c.add_argument(
+        "--shard-split-on-oom", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="quad-split a shard's eps-aligned tile when it dies with a "
+             "memory-shaped fault (device OOM / overflow beyond batch "
+             "recovery) instead of only escalating the memory grant",
+    )
+    c.add_argument(
+        "--inject-shard-oom", type=int, nargs=2, metavar=("TX", "TY"),
+        action="append", default=None,
+        help="fault injection (with --shards): fail tile (TX, TY) "
+             "wholesale with a device OOM — exercises quad-split recovery",
+    )
+    c.add_argument(
+        "--inject-shard-loss", type=int, nargs=2, metavar=("TX", "TY"),
+        action="append", default=None,
+        help="fault injection (with --shards): lose tile (TX, TY)'s "
+             "device wholesale — exercises fallback-device retry",
+    )
+    c.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="base seed for derived per-shard fault-injector streams",
     )
 
     s = sub.add_parser("sweep", help="scenario S2: eps sweep at fixed minpts")
@@ -203,31 +233,78 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _shard_fault_factory(args):
+    """Per-shard injector factory from the CLI's fault flags.
+
+    Batch-level specs (``--inject-overflow`` / ``--inject-transfer``)
+    apply to every planner tile; wholesale faults
+    (``--inject-shard-oom`` / ``--inject-shard-loss``) only to the
+    listed tiles.  Each targeted shard gets its own injector with a
+    deterministic seed derived from the shard's identity, so injection
+    composes with ``--shards`` instead of being rejected.
+    """
+    batch_specs = []
+    for kind, batches in (
+        ("overflow", args.inject_overflow),
+        ("transfer", args.inject_transfer),
+    ):
+        if batches is not None:
+            batch_specs.append(FaultSpec(kind, frozenset(batches)))
+    oom_tiles = {tuple(t) for t in (args.inject_shard_oom or [])}
+    loss_tiles = {tuple(t) for t in (args.inject_shard_loss or [])}
+    if not batch_specs and not oom_tiles and not loss_tiles:
+        return None
+
+    def factory(shard):
+        if shard.generation > 0:
+            return None  # one fault per lineage: split children run clean
+        specs = list(batch_specs)
+        if (shard.tx, shard.ty) in oom_tiles:
+            specs.append(FaultSpec("device_oom"))
+        if (shard.tx, shard.ty) in loss_tiles:
+            specs.append(FaultSpec("device_lost"))
+        if not specs:
+            return None
+        return FaultInjector(
+            specs,
+            seed=derive_seed(
+                args.fault_seed,
+                shard.tx, shard.ty, shard.generation,
+                shard.cx0, shard.cx1, shard.cy0, shard.cy1,
+            ),
+        )
+
+    return factory
+
+
 def _cmd_cluster_sharded(args, pts: np.ndarray) -> int:
-    if args.inject_overflow is not None or args.inject_transfer is not None:
-        print("error: fault injection is not supported with --shards "
-              "(shards run on fresh per-shard devices)", file=sys.stderr)
-        return 2
     nx, ny = args.shards
     cap = (
         int(args.shard_mem_mb * (1 << 20))
         if args.shard_mem_mb is not None
         else None
     )
-    res = cluster_sharded(
-        pts,
-        args.eps,
-        args.minpts,
-        config=ShardConfig(
-            shards_x=nx,
-            shards_y=ny,
-            n_workers=args.shard_workers,
-            device_mem_bytes=cap,
-        ),
-        kernel=args.kernel,
-        batch_config=BatchConfig(recovery=args.recovery),
-        sanitize=True if args.sanitize else None,
-    )
+    try:
+        res = cluster_sharded(
+            pts,
+            args.eps,
+            args.minpts,
+            config=ShardConfig(
+                shards_x=nx,
+                shards_y=ny,
+                n_workers=args.shard_workers,
+                device_mem_bytes=cap,
+                max_shard_retries=args.shard_retries,
+                split_on_oom=args.shard_split_on_oom,
+                fault_factory=_shard_fault_factory(args),
+            ),
+            kernel=args.kernel,
+            batch_config=BatchConfig(recovery=args.recovery),
+            sanitize=True if args.sanitize else None,
+        )
+    except ShardFailureError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     if args.labels_out:
         np.save(args.labels_out, res.labels)
     payload = {
@@ -245,6 +322,7 @@ def _cmd_cluster_sharded(args, pts: np.ndarray) -> int:
         "peak_device_bytes": res.max_peak_device_bytes,
         "recovery": res.recovery.as_dict(),
         "per_shard": [s.as_dict() for s in res.shard_stats],
+        "shard_events": [e.as_dict() for e in res.events],
     }
     _emit(payload, args.json)
     return 0

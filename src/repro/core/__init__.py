@@ -17,13 +17,18 @@ from repro.core.optics import OpticsResult, extract_dbscan, optics
 from repro.core.pipeline import MultiClusterPipeline, PipelineResult
 from repro.core.reuse import ReuseResult, cluster_with_reuse
 from repro.core.sharding import (
+    ShardAttempt,
     ShardConfig,
     ShardedResult,
+    ShardFailureError,
     ShardPlan,
+    ShardRecoveryStats,
     ShardStats,
     cluster_sharded,
+    make_shard_fault_factory,
     merge_shard_labels,
     plan_shards,
+    quad_split_shard,
 )
 from repro.core.table_dbscan import (
     NOISE,
@@ -46,13 +51,18 @@ __all__ = [
     "PipelineResult",
     "ReuseResult",
     "cluster_with_reuse",
+    "ShardAttempt",
     "ShardConfig",
+    "ShardFailureError",
     "ShardPlan",
+    "ShardRecoveryStats",
     "ShardStats",
     "ShardedResult",
     "cluster_sharded",
+    "make_shard_fault_factory",
     "merge_shard_labels",
     "plan_shards",
+    "quad_split_shard",
     "EpsSweepResult",
     "cluster_eps_sweep",
     "OpticsResult",

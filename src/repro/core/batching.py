@@ -354,7 +354,7 @@ def _build_with_restarts(
                 with_distances,
                 faults=injector,
             )
-        except ResultBufferOverflow:
+        except Exception as exc:
             # everything this attempt did is thrown away
             stats.recovery.merge(attempt_stats.recovery)
             stats.recovery.wasted_kernel_s += (
@@ -362,7 +362,15 @@ def _build_with_restarts(
                 + attempt_stats.sort_s
                 + attempt_stats.transfer_s
             )
-            if cfg.recovery != "restart" or attempt == max_overflow_retries:
+            if (
+                not isinstance(exc, ResultBufferOverflow)
+                or cfg.recovery != "restart"
+                or attempt == max_overflow_retries
+            ):
+                # ride the partial accounting on the exception so outer
+                # supervisors (shard-level recovery) can charge the
+                # failed build as wasted work without double counting
+                exc.build_stats = stats  # type: ignore[attr-defined]
                 raise
             stats.recovery.restarts += 1
             continue

@@ -231,6 +231,17 @@ class HybridDBSCAN:
         bit-identical to :meth:`fit` with the components
         implementation.  See :mod:`repro.core.sharding`.
 
+        Shards run under the supervised recovery state machine: a shard
+        that dies wholesale (OOM, device loss, transfer fault beyond
+        batch recovery) is retried on a fresh fallback device with an
+        exponentially escalated memory grant, or — for memory-shaped
+        faults — its ε-aligned tile is quad-split and the children are
+        enqueued; completed shards are never recomputed.  Tune the
+        policy (retry budget, split rule, per-shard fault injection)
+        through ``shard_config``; the run's recovery behavior is
+        reported in ``ShardedResult.recovery`` and the per-attempt
+        ``ShardedResult.events`` audit trail.
+
         Returns a :class:`~repro.core.sharding.ShardedResult`.
         """
         from repro.core.sharding import cluster_sharded

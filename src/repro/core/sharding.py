@@ -35,6 +35,34 @@ the S2 pipeline uses.  This is the stepping stone to true multi-device
 execution: the per-shard reduction arrays are exactly the messages a
 distributed merge would exchange.
 
+Shard-level fault recovery
+--------------------------
+A shard that dies *wholesale* — device OOM under a tight
+``device_mem_bytes``, a lost device, a transfer fault beyond the batch
+layer's retry budget — no longer aborts the run.  Every shard runs
+inside a supervised attempt loop (:func:`run_shard_supervised`):
+
+* faults are classified (:func:`repro.gpusim.faults.classify_fault`)
+  into **memory** / **transient** / **fatal**;
+* a *transient* fault retries the shard on a fresh fallback device,
+  bounded by ``ShardConfig.max_shard_retries``;
+* a *memory* fault quad-splits the shard's ε-aligned tile
+  (:func:`quad_split_shard` — children are themselves ε-aligned tiles
+  with :func:`exchange_halos` halos, so every merge invariant holds) and
+  enqueues the children; when the tile is unsplittable or splitting is
+  disabled, it retries with an exponentially larger memory grant
+  (``device_mem_bytes · mem_growth^k``);
+* a *fatal* fault propagates unchanged, and an exhausted retry budget
+  raises :class:`ShardFailureError` naming the shard.
+
+Completed shards' :class:`ShardLocalResult`\\ s are never recomputed, and
+:func:`merge_shard_labels` accepts the mixed parent/child shard set —
+labels stay bit-identical to the fault-free single-device run.  Fault
+injection composes through ``ShardConfig.fault_factory`` (one
+deterministic, seed-derived :class:`~repro.gpusim.faults.FaultInjector`
+per shard), and :class:`ShardedResult.recovery` reports every attempt,
+split, fallback placement, and wasted byte.
+
 Why this is exact
 -----------------
 Every core–core ε-edge ``(u, v)`` is observed by the shard owning ``u``'s
@@ -54,8 +82,9 @@ numbering identical too.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Literal, Optional
+from typing import Callable, Iterable, Literal, Optional
 
 import numpy as np
 from scipy import sparse
@@ -68,6 +97,12 @@ from repro.core.batching import (
 )
 from repro.core.table_dbscan import NOISE, canonicalize_labels
 from repro.gpusim.device import Device, DeviceSpec
+from repro.gpusim.faults import (
+    FaultInjector,
+    FaultSpec,
+    classify_fault,
+    derive_seed,
+)
 from repro.hostsim import Schedule, schedule_parallel
 from repro.index.grid import GridIndex
 
@@ -78,10 +113,16 @@ __all__ = [
     "ShardStats",
     "ShardLocalResult",
     "ShardedResult",
+    "ShardAttempt",
+    "ShardRecoveryStats",
+    "ShardFailureError",
     "plan_shards",
     "exchange_halos",
+    "quad_split_shard",
     "run_shard",
+    "run_shard_supervised",
     "merge_shard_labels",
+    "make_shard_fault_factory",
     "cluster_sharded",
 ]
 
@@ -104,6 +145,28 @@ class ShardConfig:
     #: batch buffers under this cap or its build fails with OOM.
     device_mem_bytes: Optional[int] = None
 
+    # --- shard-level fault recovery (DESIGN.md §9) ---
+    #: retry budget: a shard may be re-attempted this many times on a
+    #: fresh fallback device before :class:`ShardFailureError` is raised
+    max_shard_retries: int = 2
+    #: quad-split the ε-aligned tile when a shard dies with a
+    #: memory-shaped fault (device OOM / overflow beyond batch recovery)
+    split_on_oom: bool = True
+    #: bound on recursive quad-splitting (child-tile generations)
+    max_split_generations: int = 4
+    #: exponential fallback-grant escalation: the k-th memory-shaped
+    #: retry runs under ``device_mem_bytes · mem_growth^k`` (capped at
+    #: the physical :class:`~repro.gpusim.device.DeviceSpec` capacity);
+    #: ignored when ``device_mem_bytes`` is None (already uncapped)
+    mem_growth: float = 2.0
+    #: per-shard fault-injector factory, called once per shard (parents
+    #: and quad-split children alike); return ``None`` for a healthy
+    #: shard.  The injector persists across that shard's retry attempts,
+    #: so a bounded :class:`~repro.gpusim.faults.FaultSpec` ``times``
+    #: budget spans attempts and a transient fault heals on retry.  Use
+    #: :func:`make_shard_fault_factory` for deterministic derived seeds.
+    fault_factory: Optional[Callable[["Shard"], Optional[FaultInjector]]] = None
+
     def __post_init__(self) -> None:
         if self.shards_x < 1 or self.shards_y < 1:
             raise ValueError("shard grid must be at least 1x1")
@@ -111,6 +174,12 @@ class ShardConfig:
             raise ValueError("n_workers must be >= 1")
         if self.device_mem_bytes is not None and self.device_mem_bytes <= 0:
             raise ValueError("device_mem_bytes must be positive")
+        if self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be >= 0")
+        if self.max_split_generations < 0:
+            raise ValueError("max_split_generations must be >= 0")
+        if self.mem_growth < 1.0:
+            raise ValueError("mem_growth must be >= 1")
 
     @property
     def n_tiles(self) -> int:
@@ -137,10 +206,21 @@ class Shard:
     interior_ids: np.ndarray
     #: ids of the ε-halo: points in the one-cell ring around the tile
     halo_ids: np.ndarray
+    #: quad-split depth: 0 for planner tiles, parent+1 for split
+    #: children (which keep the parent's ``tx``/``ty`` as lineage)
+    generation: int = 0
 
     @property
     def n_points(self) -> int:
         return len(self.interior_ids) + len(self.halo_ids)
+
+    @property
+    def key(self) -> str:
+        """Human-readable shard identity (tile, generation, cells)."""
+        return (
+            f"({self.tx},{self.ty})g{self.generation}"
+            f"[{self.cx0}:{self.cx1})x[{self.cy0}:{self.cy1})"
+        )
 
 
 @dataclass(frozen=True)
@@ -266,6 +346,57 @@ def plan_shards(
     )
 
 
+def quad_split_shard(plan: ShardPlan, shard: Shard) -> list[Shard]:
+    """Split a failed shard's ε-aligned tile into (up to) four children.
+
+    The tile's whole-cell rectangle is bisected along every axis that
+    spans ≥ 2 cells, so each child is itself an ε-aligned tile (a
+    rectangle of whole global grid cells): the child interiors partition
+    the parent's interior, and each child's halo is the same one-cell
+    :func:`exchange_halos` ring the planner computes — every halo
+    invariant, and therefore the bit-identical-labels property of
+    :func:`merge_shard_labels`, is preserved across the mixed
+    parent/child shard set.
+
+    Children with no interior points are dropped (same rule as
+    :func:`plan_shards`).  A single-cell tile cannot be split: returns
+    an empty list, and the supervisor falls back to an escalated retry.
+    """
+    w = shard.cx1 - shard.cx0
+    h = shard.cy1 - shard.cy0
+    if w < 2 and h < 2:
+        return []
+    if w < 2:
+        x_ranges = [(shard.cx0, shard.cx1)]
+    else:
+        xm = shard.cx0 + w // 2
+        x_ranges = [(shard.cx0, xm), (xm, shard.cx1)]
+    if h < 2:
+        y_ranges = [(shard.cy0, shard.cy1)]
+    else:
+        ym = shard.cy0 + h // 2
+        y_ranges = [(shard.cy0, ym), (ym, shard.cy1)]
+
+    cx, cy, _, _ = _global_cell_coords(plan.points, plan.eps)
+    children: list[Shard] = []
+    for cy0, cy1 in y_ranges:
+        for cx0, cx1 in x_ranges:
+            in_tile = (cx >= cx0) & (cx < cx1) & (cy >= cy0) & (cy < cy1)
+            interior = np.flatnonzero(in_tile).astype(np.int64)
+            if len(interior) == 0:
+                continue
+            halo = exchange_halos(cx, cy, (cx0, cx1, cy0, cy1))
+            children.append(
+                Shard(
+                    tx=shard.tx, ty=shard.ty,
+                    cx0=cx0, cx1=cx1, cy0=cy0, cy1=cy1,
+                    interior_ids=interior, halo_ids=halo,
+                    generation=shard.generation + 1,
+                )
+            )
+    return children
+
+
 # ----------------------------------------------------------------------
 # per-shard execution
 # ----------------------------------------------------------------------
@@ -287,7 +418,22 @@ class ShardStats:
     peak_device_bytes: int = 0
     #: peak pinned staging residency of the shard's build (bytes)
     peak_pinned_bytes: int = 0
+    #: batch-level recovery of the *successful* attempt only
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    #: quad-split depth of the shard that produced these stats
+    generation: int = 0
+    # --- shard-level recovery observability (the supervisor's loop) ---
+    #: supervised attempts taken, including the successful one
+    attempts: int = 1
+    #: retries placed on a fresh fallback device (``attempts - 1``)
+    fallbacks: int = 0
+    #: wall seconds burned by this shard's failed attempts
+    wasted_s: float = 0.0
+    #: peak device bytes allocated by failed attempts (wasted work)
+    wasted_bytes: int = 0
+    #: batch-level recovery performed *inside* failed attempts — kept
+    #: apart from ``recovery`` so the two are never double-counted
+    failed_recovery: RecoveryStats = field(default_factory=RecoveryStats)
 
     @property
     def shard_s(self) -> float:
@@ -297,6 +443,7 @@ class ShardStats:
     def as_dict(self) -> dict:
         return {
             "tile": [self.tx, self.ty],
+            "generation": self.generation,
             "n_interior": self.n_interior,
             "n_halo": self.n_halo,
             "n_pairs": self.n_pairs,
@@ -306,6 +453,11 @@ class ShardStats:
             "peak_device_bytes": self.peak_device_bytes,
             "peak_pinned_bytes": self.peak_pinned_bytes,
             "recovery": self.recovery.as_dict(),
+            "attempts": self.attempts,
+            "fallbacks": self.fallbacks,
+            "wasted_s": round(self.wasted_s, 6),
+            "wasted_bytes": self.wasted_bytes,
+            "failed_recovery": self.failed_recovery.as_dict(),
         }
 
 
@@ -353,6 +505,7 @@ def run_shard(
     batch_config: Optional[BatchConfig] = None,
     backend: str = "vector",
     block_dim: int = 256,
+    faults: Optional[FaultInjector] = None,
 ) -> ShardLocalResult:
     """Build one shard's table, cluster its interior, reduce, drop.
 
@@ -361,6 +514,11 @@ def run_shard(
     where the per-shard memory cap is enforced), then reduced to the
     O(interior + boundary) arrays of :class:`ShardLocalResult`; the
     table itself is garbage once this function returns.
+
+    ``faults`` is this shard's fault injector (if any): it is threaded
+    into the table build, where the batching layer and the device hooks
+    consult it — per-batch faults recover inside the build, wholesale
+    faults (device loss, OOM beyond recovery) escape to the caller.
     """
     if minpts < 1:
         raise ValueError("minpts must be >= 1")
@@ -369,6 +527,7 @@ def run_shard(
         ty=shard.ty,
         n_interior=len(shard.interior_ids),
         n_halo=len(shard.halo_ids),
+        generation=shard.generation,
     )
 
     t0 = time.perf_counter()
@@ -383,6 +542,7 @@ def run_shard(
         config=batch_config,
         backend=backend,
         block_dim=block_dim,
+        faults=faults,
     )
     stats.build_s = time.perf_counter() - t0
     stats.n_pairs = table.total_pairs
@@ -456,6 +616,301 @@ def run_shard(
         border_halo_edges=border_halo_edges,
         stats=stats,
     )
+
+
+# ----------------------------------------------------------------------
+# shard-level fault recovery (the supervisor)
+# ----------------------------------------------------------------------
+class ShardFailureError(RuntimeError):
+    """A shard exhausted its recovery budget (typed, names the shard).
+
+    Carries the failed :class:`Shard` and the number of attempts; the
+    ``__cause__`` chain holds the last underlying fault.
+    """
+
+    def __init__(self, shard: Shard, attempts: int, last: BaseException):
+        self.shard = shard
+        self.attempts = attempts
+        self.last_error = last
+        super().__init__(
+            f"shard {shard.key} failed after {attempts} attempt(s); "
+            f"last fault: {type(last).__name__}: {last}"
+        )
+
+
+@dataclass
+class ShardAttempt:
+    """One supervised attempt at one shard (the recovery audit trail)."""
+
+    tile: tuple[int, int]
+    cells: tuple[int, int, int, int]
+    generation: int
+    #: 0-based attempt number within this shard's supervision
+    attempt: int
+    #: ``"ok"`` | ``"retry"`` | ``"split"`` | ``"failed"``
+    outcome: str
+    #: :func:`~repro.gpusim.faults.classify_fault` class ("" on success)
+    fault: str = ""
+    error: str = ""
+    #: memory grant the attempt ran under (None: uncapped device)
+    mem_grant_bytes: Optional[int] = None
+    #: wall seconds of the attempt (wasted unless ``outcome == "ok"``)
+    shard_s: float = 0.0
+    #: peak device bytes the attempt allocated (wasted unless ok)
+    wasted_bytes: int = 0
+    #: batch-level recovery performed inside a *failed* attempt
+    batch_recovery: RecoveryStats = field(default_factory=RecoveryStats)
+
+    def as_dict(self) -> dict:
+        return {
+            "tile": list(self.tile),
+            "cells": list(self.cells),
+            "generation": self.generation,
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "fault": self.fault,
+            "error": self.error,
+            "mem_grant_bytes": self.mem_grant_bytes,
+            "shard_s": round(self.shard_s, 6),
+            "wasted_bytes": self.wasted_bytes,
+            "batch_recovery": self.batch_recovery.as_dict(),
+        }
+
+
+@dataclass
+class ShardRecoveryStats:
+    """Aggregated recovery accounting of a sharded run.
+
+    Batch-level and shard-level recovery are kept apart, and failed
+    attempts apart from successful ones: ``batch`` sums the RecoveryStats
+    of the attempts that produced the final labels, while recovery work
+    performed inside attempts that were later thrown away is in
+    ``failed_batch`` — the two never double-count.  ``as_dict`` keeps the
+    flat :class:`~repro.core.batching.RecoveryStats` keys of the
+    pre-recovery payload (splits, regrows, …) for the successful-side
+    counters, so existing consumers of the CLI JSON keep working.
+    """
+
+    #: batch-level recovery inside the successful attempts
+    batch: RecoveryStats = field(default_factory=RecoveryStats)
+    #: batch-level recovery inside failed (discarded) attempts
+    failed_batch: RecoveryStats = field(default_factory=RecoveryStats)
+    #: supervised attempts across all shards (1 per shard when healthy)
+    shard_attempts: int = 0
+    #: retries placed on a fresh fallback device
+    fallback_placements: int = 0
+    #: ε-aligned quad-splits performed
+    shard_splits: int = 0
+    #: retries that escalated the per-shard memory grant
+    mem_escalations: int = 0
+    #: device bytes allocated by attempts that were thrown away
+    wasted_work_bytes: int = 0
+    #: wall seconds burned by attempts that were thrown away
+    wasted_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        d = self.batch.as_dict()
+        d.update(
+            {
+                "failed_batch": self.failed_batch.as_dict(),
+                "shard_attempts": self.shard_attempts,
+                "fallback_placements": self.fallback_placements,
+                "shard_splits": self.shard_splits,
+                "mem_escalations": self.mem_escalations,
+                "wasted_work_bytes": self.wasted_work_bytes,
+                "wasted_s": round(self.wasted_s, 6),
+            }
+        )
+        return d
+
+
+def make_shard_fault_factory(
+    specs: Iterable[FaultSpec],
+    *,
+    seed: int = 0,
+    tiles: Optional[Iterable[tuple[int, int]]] = None,
+    generations: int = 1,
+) -> Callable[[Shard], Optional[FaultInjector]]:
+    """Build a :attr:`ShardConfig.fault_factory` from shared fault specs.
+
+    Every targeted shard gets its *own* :class:`FaultInjector` over the
+    shared specs, seeded with :func:`~repro.gpusim.faults.derive_seed`
+    from the shard's lineage tile, generation, and cell bounds —
+    deterministic and independent of shard execution order.  ``tiles``
+    restricts injection to the listed ``(tx, ty)`` planner tiles.
+
+    By default only planner tiles (``generation == 0``) are injected: a
+    one-shot fault fires once per lineage, the tile splits or retries,
+    and its quad-split children run clean.  Raise ``generations`` to
+    keep injecting into split children (each child then draws from its
+    own derived-seed injector) — that exercises recursive splitting.
+    """
+    spec_list = tuple(specs)
+    tile_set = (
+        None if tiles is None else {(int(x), int(y)) for x, y in tiles}
+    )
+
+    def factory(shard: Shard) -> Optional[FaultInjector]:
+        if not spec_list:
+            return None
+        if shard.generation >= generations:
+            return None
+        if tile_set is not None and (shard.tx, shard.ty) not in tile_set:
+            return None
+        return FaultInjector(
+            spec_list,
+            seed=derive_seed(
+                seed,
+                shard.tx, shard.ty, shard.generation,
+                shard.cx0, shard.cx1, shard.cy0, shard.cy1,
+            ),
+        )
+
+    return factory
+
+
+def _grant_spec(
+    base_spec: DeviceSpec, cfg: ShardConfig, escalations: int
+) -> tuple[DeviceSpec, Optional[int]]:
+    """The device spec of one attempt under the exponential grant policy.
+
+    Escalation k grants ``device_mem_bytes · mem_growth^k``, capped at
+    the physical card capacity (but never below the configured base
+    grant).  With no configured cap the device is already as large as it
+    gets — the fallback device is simply a fresh one.
+    """
+    if cfg.device_mem_bytes is None:
+        return base_spec, None
+    grant = int(cfg.device_mem_bytes * cfg.mem_growth**escalations)
+    grant = max(
+        cfg.device_mem_bytes, min(grant, base_spec.global_mem_bytes)
+    )
+    return replace(base_spec, global_mem_bytes=grant), grant
+
+
+def run_shard_supervised(
+    plan: ShardPlan,
+    shard: Shard,
+    minpts: int,
+    cfg: ShardConfig,
+    base_spec: DeviceSpec,
+    *,
+    kernel: Literal["global", "shared"] = "global",
+    batch_config: Optional[BatchConfig] = None,
+    backend: str = "vector",
+    block_dim: int = 256,
+    sanitize: Optional[bool] = None,
+    events: Optional[list[ShardAttempt]] = None,
+) -> "ShardLocalResult | list[Shard]":
+    """Supervised attempt loop for one shard — the recovery state machine.
+
+    Returns the shard's :class:`ShardLocalResult` on success, or the
+    quad-split children (to be enqueued in its place) when a
+    memory-shaped fault splits the tile.  Each attempt runs on a
+    **fresh** bounded device; the shard's injector (from
+    ``cfg.fault_factory``) persists across attempts so bounded fault
+    budgets span retries.  Fatal faults propagate unchanged; an
+    exhausted retry budget raises :class:`ShardFailureError`.  Every
+    attempt is appended to ``events`` (the recovery audit trail).
+    """
+    injector = (
+        cfg.fault_factory(shard) if cfg.fault_factory is not None else None
+    )
+    attempt = 0
+    escalations = 0
+    failed_recovery = RecoveryStats()
+    wasted_s = 0.0
+    wasted_bytes = 0
+    while True:
+        spec, grant = _grant_spec(base_spec, cfg, escalations)
+        device = Device(spec, sanitize=sanitize)
+        t0 = time.perf_counter()
+        try:
+            local = run_shard(
+                plan,
+                shard,
+                minpts,
+                device,
+                kernel=kernel,
+                batch_config=batch_config,
+                backend=backend,
+                block_dim=block_dim,
+                faults=injector,
+            )
+        except Exception as exc:
+            elapsed = time.perf_counter() - t0
+            fclass = classify_fault(exc)
+            bstats = getattr(exc, "build_stats", None)
+            brec = (
+                bstats.recovery if bstats is not None else RecoveryStats()
+            )
+            abytes = device.memory.peak_bytes
+
+            def _event(outcome: str) -> ShardAttempt:
+                return ShardAttempt(
+                    tile=(shard.tx, shard.ty),
+                    cells=(shard.cx0, shard.cx1, shard.cy0, shard.cy1),
+                    generation=shard.generation,
+                    attempt=attempt,
+                    outcome=outcome,
+                    fault=fclass,
+                    error=f"{type(exc).__name__}: {exc}",
+                    mem_grant_bytes=grant,
+                    shard_s=elapsed,
+                    wasted_bytes=abytes,
+                    batch_recovery=brec,
+                )
+
+            if fclass == "fatal":
+                if events is not None:
+                    events.append(_event("failed"))
+                raise
+            # memory-shaped: quad-split first — four quarter tiles fit
+            # where the whole tile could not, and the grant need not grow
+            if (
+                fclass == "memory"
+                and cfg.split_on_oom
+                and shard.generation < cfg.max_split_generations
+            ):
+                children = quad_split_shard(plan, shard)
+                if children:
+                    if events is not None:
+                        events.append(_event("split"))
+                    return children
+            if attempt >= cfg.max_shard_retries:
+                if events is not None:
+                    events.append(_event("failed"))
+                raise ShardFailureError(shard, attempt + 1, exc) from exc
+            if events is not None:
+                events.append(_event("retry"))
+            failed_recovery.merge(brec)
+            wasted_s += elapsed
+            wasted_bytes += abytes
+            attempt += 1
+            if fclass == "memory":
+                escalations += 1
+            continue
+        finally:
+            device.close()
+        # success: stamp the supervisor's accounting onto the stats
+        local.stats.attempts = attempt + 1
+        local.stats.fallbacks = attempt
+        local.stats.wasted_s = wasted_s
+        local.stats.wasted_bytes = wasted_bytes
+        local.stats.failed_recovery = failed_recovery
+        if events is not None:
+            events.append(
+                ShardAttempt(
+                    tile=(shard.tx, shard.ty),
+                    cells=(shard.cx0, shard.cx1, shard.cy0, shard.cy1),
+                    generation=shard.generation,
+                    attempt=attempt,
+                    outcome="ok",
+                    mem_grant_bytes=grant,
+                    shard_s=local.stats.shard_s,
+                )
+            )
+        return local
 
 
 # ----------------------------------------------------------------------
@@ -545,6 +1000,8 @@ class ShardedResult:
     merge_s: float = 0.0
     #: modeled makespan over ``config.n_workers`` shard workers
     schedule: Optional[Schedule] = None
+    #: the recovery audit trail: one entry per supervised shard attempt
+    events: list[ShardAttempt] = field(default_factory=list)
 
     @property
     def n_clusters(self) -> int:
@@ -566,11 +1023,33 @@ class ShardedResult:
         return max((s.peak_device_bytes for s in self.shard_stats), default=0)
 
     @property
-    def recovery(self) -> RecoveryStats:
-        total = RecoveryStats()
+    def recovery(self) -> ShardRecoveryStats:
+        """Aggregated batch- and shard-level recovery accounting.
+
+        Successful attempts' batch-level :class:`RecoveryStats` come from
+        the per-shard stats; everything about failed attempts — including
+        the batch recovery performed inside them before they died — comes
+        from the attempt :attr:`events`, so failed-attempt counters are
+        never double-counted with the successful attempt's.  Split
+        parents (which never produce stats) are covered by their
+        ``"split"`` events.
+        """
+        r = ShardRecoveryStats()
         for s in self.shard_stats:
-            total.merge(s.recovery)
-        return total
+            r.batch.merge(s.recovery)
+        for e in self.events:
+            r.shard_attempts += 1
+            if e.outcome == "retry":
+                r.fallback_placements += 1
+                if e.fault == "memory":
+                    r.mem_escalations += 1
+            elif e.outcome == "split":
+                r.shard_splits += 1
+            if e.outcome != "ok":
+                r.failed_batch.merge(e.batch_recovery)
+                r.wasted_work_bytes += e.wasted_bytes
+                r.wasted_s += e.shard_s
+        return r
 
 
 def cluster_sharded(
@@ -590,37 +1069,44 @@ def cluster_sharded(
 
     Each shard runs on a fresh bounded :class:`Device` (capacity
     ``config.device_mem_bytes``), one at a time — the device never holds
-    more than one shard's working set.  Shard wall times feed the
+    more than one shard's working set.  Every shard is supervised by the
+    recovery state machine (:func:`run_shard_supervised`): wholesale
+    shard faults retry on fallback devices or quad-split the tile, and
+    completed shards are never recomputed.  Shard wall times feed the
     hostsim multi-worker schedule; the merge runs on the host after all
     shards.  Labels are bit-identical to
     ``HybridDBSCAN(...).fit(points, eps, minpts)`` with the components
-    implementation.
+    implementation — with or without recovered faults.
     """
     cfg = config or ShardConfig()
     plan = plan_shards(points, eps, config=cfg)
-    spec = device_spec or DeviceSpec()
-    if cfg.device_mem_bytes is not None:
-        spec = replace(spec, global_mem_bytes=cfg.device_mem_bytes)
+    base_spec = device_spec or DeviceSpec()
 
     locals_: list[ShardLocalResult] = []
+    events: list[ShardAttempt] = []
     t0 = time.perf_counter()
-    for shard in plan.shards:
-        device = Device(spec, sanitize=sanitize)
-        try:
-            locals_.append(
-                run_shard(
-                    plan,
-                    shard,
-                    minpts,
-                    device,
-                    kernel=kernel,
-                    batch_config=batch_config,
-                    backend=backend,
-                    block_dim=block_dim,
-                )
-            )
-        finally:
-            device.close()
+    pending: deque[Shard] = deque(plan.shards)
+    while pending:
+        shard = pending.popleft()
+        outcome = run_shard_supervised(
+            plan,
+            shard,
+            minpts,
+            cfg,
+            base_spec,
+            kernel=kernel,
+            batch_config=batch_config,
+            backend=backend,
+            block_dim=block_dim,
+            sanitize=sanitize,
+            events=events,
+        )
+        if isinstance(outcome, ShardLocalResult):
+            locals_.append(outcome)
+        else:
+            # a quad-split: the children take the parent's place at the
+            # head of the queue (completed shards are untouched)
+            pending.extendleft(reversed(outcome))
     serial_s = time.perf_counter() - t0
 
     t1 = time.perf_counter()
@@ -642,4 +1128,5 @@ def cluster_sharded(
         serial_s=serial_s,
         merge_s=merge_s,
         schedule=sched,
+        events=events,
     )

@@ -21,7 +21,14 @@ Public entry points
 """
 
 from repro.gpusim.device import Device, DeviceSpec
-from repro.gpusim.faults import FaultInjector, FaultSpec, TransferError
+from repro.gpusim.faults import (
+    DeviceLostError,
+    FaultInjector,
+    FaultSpec,
+    TransferError,
+    classify_fault,
+    derive_seed,
+)
 from repro.gpusim.memory import (
     DeviceBuffer,
     DeviceMemoryError,
@@ -58,6 +65,9 @@ __all__ = [
     "ResultBufferOverflow",
     "FaultInjector",
     "FaultSpec",
+    "DeviceLostError",
+    "classify_fault",
+    "derive_seed",
     "TransferError",
     "Kernel",
     "LaunchConfig",

@@ -99,8 +99,14 @@ class Device:
 
     def check_fault(self, kind: str) -> None:
         """Give the attached :class:`FaultInjector` (if any) a chance to
-        raise at this point; no-op on healthy devices."""
+        raise at this point; no-op on healthy devices.
+
+        A lost device fails *every* operation, so ``device_lost`` specs
+        are checked at every hook point in addition to ``kind``.
+        """
         if self.faults is not None:
+            if kind != "device_lost":
+                self.faults.check("device_lost")
             self.faults.check(kind)
 
     # ------------------------------------------------------------------

@@ -17,6 +17,14 @@ exception types at configurable points:
 ``"transfer"``
     :class:`TransferError` during a host↔device copy — models a failed
     DMA / PCIe transaction.
+``"device_lost"``
+    :class:`DeviceLostError` on *any* device operation (allocation or
+    transfer) — models a wholesale device loss (XID error, fallen off
+    the bus).  Unlike the other kinds it is never recovered inside a
+    build: the batching layer does not catch it, so it aborts the whole
+    table construction and surfaces to the shard supervisor
+    (:mod:`repro.core.sharding`), which retries on a fresh fallback
+    device.
 
 Injection is deterministic and seedable.  A :class:`FaultSpec` targets
 explicit batch indices (exact, reproducible) and/or fires with a
@@ -40,20 +48,76 @@ import numpy as np
 
 from repro.gpusim.memory import DeviceMemoryError, ResultBufferOverflow
 
-__all__ = ["FAULT_KINDS", "TransferError", "FaultSpec", "FaultInjector"]
+__all__ = [
+    "FAULT_KINDS",
+    "TransferError",
+    "DeviceLostError",
+    "FaultSpec",
+    "FaultInjector",
+    "classify_fault",
+    "derive_seed",
+]
 
-FAULT_KINDS = ("overflow", "device_oom", "transfer")
+FAULT_KINDS = ("overflow", "device_oom", "transfer", "device_lost")
 
 
 class TransferError(RuntimeError):
     """Raised when a (simulated) host↔device transfer fails."""
 
 
+class DeviceLostError(RuntimeError):
+    """Raised when the (simulated) device is lost wholesale.
+
+    Deliberately *not* a subclass of the per-batch-recoverable errors:
+    batch-level recovery must not swallow it — only a fresh device can
+    make progress.
+    """
+
+
 _EXCEPTIONS = {
     "overflow": ResultBufferOverflow,
     "device_oom": DeviceMemoryError,
     "transfer": TransferError,
+    "device_lost": DeviceLostError,
 }
+
+#: fault classes the shard supervisor acts on (see :func:`classify_fault`)
+FAULT_CLASSES = ("memory", "transient", "fatal")
+
+
+def classify_fault(exc: BaseException) -> str:
+    """Classify an exception for shard-level recovery.
+
+    ``"memory"``
+        Memory-shaped failures — :class:`DeviceMemoryError` (allocation
+        failed under the device's capacity) and
+        :class:`~repro.gpusim.memory.ResultBufferOverflow` escaping
+        batch-level recovery.  Recoverable by splitting the work or by
+        retrying with a larger memory grant.
+    ``"transient"``
+        :class:`TransferError` (beyond the batch layer's retry budget)
+        and :class:`DeviceLostError` — recoverable by retrying on a
+        fresh fallback device.
+    ``"fatal"``
+        Everything else (programming errors, bad inputs) — must
+        propagate unchanged; retrying cannot help.
+    """
+    if isinstance(exc, (DeviceMemoryError, ResultBufferOverflow)):
+        return "memory"
+    if isinstance(exc, (TransferError, DeviceLostError)):
+        return "transient"
+    return "fatal"
+
+
+def derive_seed(base: int, *key: int) -> int:
+    """Deterministic child seed from a base seed and an integer key path.
+
+    Used to give every shard (and every quad-split child) its own
+    :class:`FaultInjector` stream: same base seed + same shard key →
+    the same injection sequence, independent of shard execution order.
+    """
+    ss = np.random.SeedSequence([int(base) & 0xFFFFFFFF, *(int(k) & 0xFFFFFFFF for k in key)])
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
 
 
 @dataclass(frozen=True)
@@ -146,6 +210,11 @@ class FaultInjector:
         return cls(
             [FaultSpec("device_oom", frozenset(batches), times=times)], seed=seed
         )
+
+    @classmethod
+    def device_loss(cls, *, times: int = 1, seed: int = 0) -> "FaultInjector":
+        """Lose the device wholesale on its next ``times`` operations."""
+        return cls([FaultSpec("device_lost", times=times)], seed=seed)
 
     # ------------------------------------------------------------------
     # batch scoping

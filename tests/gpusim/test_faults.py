@@ -5,10 +5,13 @@ import pytest
 
 from repro.gpusim import (
     Device,
+    DeviceLostError,
     DeviceMemoryError,
     FaultInjector,
     FaultSpec,
     TransferError,
+    classify_fault,
+    derive_seed,
 )
 from repro.gpusim.memory import ResultBufferOverflow
 
@@ -164,3 +167,107 @@ class TestDeviceHooks:
         dev.check_fault("overflow")  # no injector: no-op
         buf = dev.to_device(np.arange(4.0))
         assert np.array_equal(dev.from_device(buf), np.arange(4.0))
+
+
+class TestDeviceLost:
+    def test_fires_on_allocation(self):
+        dev = Device(faults=FaultInjector.device_loss())
+        with pytest.raises(DeviceLostError):
+            dev.allocate(64)
+
+    def test_fires_on_transfer(self):
+        dev = Device(faults=FaultInjector.device_loss())
+        with pytest.raises(DeviceLostError):
+            dev.to_device(np.zeros(8))
+
+    def test_times_budget_heals(self):
+        """A bounded loss fires once; the next operation succeeds — the
+        shard supervisor's retry-on-fallback-device contract."""
+        dev = Device(faults=FaultInjector.device_loss(times=1))
+        with pytest.raises(DeviceLostError):
+            dev.allocate(64)
+        buf = dev.allocate(64)
+        assert buf.nbytes == 64 * np.float64().itemsize
+
+    def test_not_batch_recoverable_type(self):
+        """Batch-level recovery keys on the overflow/OOM types; device
+        loss must not be swallowed by it."""
+        assert not issubclass(DeviceLostError, ResultBufferOverflow)
+        assert not issubclass(DeviceLostError, DeviceMemoryError)
+        assert not issubclass(DeviceLostError, TransferError)
+
+
+class TestClassifyFault:
+    def test_memory_shaped(self):
+        assert classify_fault(DeviceMemoryError("x")) == "memory"
+        assert classify_fault(ResultBufferOverflow("x")) == "memory"
+
+    def test_transient(self):
+        assert classify_fault(TransferError("x")) == "transient"
+        assert classify_fault(DeviceLostError("x")) == "transient"
+
+    def test_everything_else_is_fatal(self):
+        assert classify_fault(ValueError("bad input")) == "fatal"
+        assert classify_fault(KeyError("bug")) == "fatal"
+        assert classify_fault(RuntimeError("generic")) == "fatal"
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, 1, 2, 3) == derive_seed(7, 1, 2, 3)
+
+    def test_sensitive_to_base_and_key(self):
+        base = derive_seed(7, 1, 2, 3)
+        assert derive_seed(8, 1, 2, 3) != base
+        assert derive_seed(7, 1, 2, 4) != base
+        assert derive_seed(7, 3, 2, 1) != base  # order matters
+
+    def test_valid_generator_seed(self):
+        s = derive_seed(0, 0, 0)
+        assert s >= 0
+        np.random.default_rng(s)  # accepted as a seed
+
+    def test_injectors_from_derived_seeds_are_independent(self):
+        def seq(s):
+            inj = FaultInjector(
+                [FaultSpec("overflow", probability=0.5, times=None)], seed=s
+            )
+            out = []
+            for _ in range(64):
+                try:
+                    inj.check("overflow")
+                    out.append(False)
+                except ResultBufferOverflow:
+                    out.append(True)
+            return out
+
+        a = seq(derive_seed(0, 0, 0))
+        b = seq(derive_seed(0, 1, 0))
+        assert a != b
+        assert a == seq(derive_seed(0, 0, 0))
+
+
+class TestResetRestoresRng:
+    def test_reset_matches_fresh_injector(self):
+        """Regression: ``reset`` must restore the *RNG state* to the
+        seeded origin, not just clear counters — a reset injector's draw
+        sequence must equal a brand-new injector's, not continue where
+        the old generators left off."""
+        specs = [FaultSpec("transfer", probability=0.4, times=None)]
+
+        def seq(inj, n=48):
+            out = []
+            for _ in range(n):
+                try:
+                    inj.check("transfer")
+                    out.append(False)
+                except TransferError:
+                    out.append(True)
+            return out
+
+        fresh = seq(FaultInjector(specs, seed=11))
+        inj = FaultInjector(specs, seed=11)
+        seq(inj, n=17)  # advance the generators partway
+        inj.reset()
+        assert seq(inj) == fresh
+        assert inj.injected["transfer"] == sum(fresh)

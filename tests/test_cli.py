@@ -82,12 +82,66 @@ class TestCluster:
         assert payload["peak_device_bytes"] <= 4 * (1 << 20)
         assert len(payload["per_shard"]) == payload["shards"]
 
-    def test_sharded_rejects_fault_injection(self, capsys, points_file):
-        code = main(
-            ["cluster", points_file, "--eps", "0.5",
-             "--shards", "2", "2", "--inject-overflow", "1"]
+    def test_sharded_batch_fault_injection_recovers(
+        self, capsys, points_file, tmp_path
+    ):
+        """Batch-level injection now composes with --shards (it used to
+        be rejected with exit code 2) and labels match the clean run."""
+        clean = tmp_path / "clean.npy"
+        faulty = tmp_path / "faulty.npy"
+        code, _ = run_json(
+            capsys,
+            ["cluster", points_file, "--eps", "0.5", "--shards", "2", "2",
+             "--labels-out", str(clean)],
         )
-        assert code == 2
+        assert code == 0
+        code, payload = run_json(
+            capsys,
+            ["cluster", points_file, "--eps", "0.5", "--shards", "2", "2",
+             "--inject-overflow", "0", "--labels-out", str(faulty)],
+        )
+        assert code == 0
+        assert np.array_equal(np.load(clean), np.load(faulty))
+        assert payload["recovery"]["splits"] + payload["recovery"]["regrows"] >= 1
+
+    def test_sharded_wholesale_fault_injection(
+        self, capsys, points_file, tmp_path
+    ):
+        clean = tmp_path / "clean.npy"
+        faulty = tmp_path / "faulty.npy"
+        code, _ = run_json(
+            capsys,
+            ["cluster", points_file, "--eps", "0.5", "--shards", "2", "2",
+             "--labels-out", str(clean)],
+        )
+        assert code == 0
+        code, payload = run_json(
+            capsys,
+            ["cluster", points_file, "--eps", "0.5", "--shards", "2", "2",
+             "--inject-shard-oom", "0", "0", "--inject-shard-loss", "1", "1",
+             "--labels-out", str(faulty)],
+        )
+        assert code == 0
+        assert np.array_equal(np.load(clean), np.load(faulty))
+        rec = payload["recovery"]
+        # every completed shard is one "ok" attempt; the injected faults
+        # must have added failed attempts on top
+        assert rec["shard_attempts"] > payload["shards"]
+        assert rec["shard_splits"] >= 1 or rec["fallback_placements"] >= 1
+        outcomes = {e["outcome"] for e in payload["shard_events"]}
+        assert "ok" in outcomes and ({"split", "retry"} & outcomes)
+
+    def test_sharded_retry_budget_exhaustion_exit_code(
+        self, capsys, points_file
+    ):
+        code = main(
+            ["cluster", points_file, "--eps", "0.5", "--shards", "2", "2",
+             "--inject-shard-oom", "0", "0", "--shard-retries", "0",
+             "--no-shard-split-on-oom"]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "shard (0,0)g0" in err
 
     def test_text_output(self, capsys, points_file):
         code, out = run_cli(capsys, ["cluster", points_file, "--eps", "0.5"])
