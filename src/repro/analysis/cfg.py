@@ -1,0 +1,243 @@
+"""Control-flow graphs over kernel *device code* ASTs.
+
+Device code (see :mod:`repro.gpusim.kernelapi`) is a restricted Python
+dialect: straight-line statements, ``if``/``for``/``while`` control flow,
+early ``return`` guards, and block barriers written as
+``yield ctx.syncthreads()``.  :func:`build_cfg` turns one device-code
+function definition into a statement-level CFG whose nodes carry
+
+* the originating AST statement (and, for branches/loops, the test),
+* the enclosing *control stack* — which ``if`` arm / loop body the
+  statement sits in — used by the barrier-divergence pass, and
+* ``barrier`` markers, so race detection can reason about
+  barrier-delimited path segments (including loop back edges).
+
+The graph is tiny (one node per statement), so the analyses in
+:mod:`repro.analysis.kernelcheck` simply BFS it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CFG", "CFGNode", "Frame", "build_cfg", "is_barrier_stmt"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One level of the control stack enclosing a statement."""
+
+    kind: str  #: ``"if"`` or ``"loop"``
+    node_id: int  #: CFG node id of the branch / loop-head node
+    arm: str = ""  #: ``"then"`` / ``"else"`` for ``if`` frames
+
+
+@dataclass
+class CFGNode:
+    """One statement (or control-flow head) of the device function."""
+
+    id: int
+    kind: str  #: ``entry`` | ``exit`` | ``stmt`` | ``barrier`` | ``branch`` | ``loop``
+    stmt: Optional[ast.AST] = None
+    test: Optional[ast.expr] = None  #: branch condition / ``while`` test
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+    stack: tuple[Frame, ...] = ()
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+class CFG:
+    """A per-function control-flow graph."""
+
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.entry: int = 0
+        self.exit: int = 0
+
+    def node(self, node_id: int) -> CFGNode:
+        return self.nodes[node_id]
+
+    def add(
+        self,
+        kind: str,
+        stmt: Optional[ast.AST] = None,
+        test: Optional[ast.expr] = None,
+        stack: tuple[Frame, ...] = (),
+    ) -> CFGNode:
+        n = CFGNode(id=len(self.nodes), kind=kind, stmt=stmt, test=test, stack=stack)
+        self.nodes.append(n)
+        return n
+
+    def edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+            self.nodes[dst].preds.append(src)
+
+    # -- queries used by the analysis passes ---------------------------
+    def barriers(self) -> list[CFGNode]:
+        return [n for n in self.nodes if n.kind == "barrier"]
+
+    def statements(self) -> list[CFGNode]:
+        return [n for n in self.nodes if n.kind in ("stmt", "branch", "loop")]
+
+    def reachable_without_barrier(self, src: int) -> set[int]:
+        """Node ids reachable from ``src`` along paths that never *cross*
+        a barrier (barrier nodes terminate the walk; loop back edges are
+        followed, so a node can reach itself)."""
+        seen: set[int] = set()
+        work = list(self.nodes[src].succs)
+        while work:
+            nid = work.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            if self.nodes[nid].kind == "barrier":
+                continue
+            work.extend(self.nodes[nid].succs)
+        return seen
+
+    def barrier_reachable_from(self, src: int) -> bool:
+        """Whether any barrier lies downstream of ``src`` (crossing
+        barriers allowed — this is plain reachability)."""
+        seen: set[int] = set()
+        work = list(self.nodes[src].succs)
+        while work:
+            nid = work.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            if self.nodes[nid].kind == "barrier":
+                return True
+            work.extend(self.nodes[nid].succs)
+        return False
+
+
+def is_barrier_stmt(stmt: ast.stmt) -> bool:
+    """Match the canonical barrier form ``yield ctx.syncthreads()``."""
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Yield):
+        return False
+    call = stmt.value.value
+    return (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Attribute)
+        and call.func.attr == "syncthreads"
+    )
+
+
+class _Builder:
+    """Recursive-descent CFG construction with loop break/continue plumbing."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        entry = self.cfg.add("entry")
+        exit_ = self.cfg.add("exit")
+        self.cfg.entry, self.cfg.exit = entry.id, exit_.id
+        #: per enclosing loop: (loop-head id, break-target collector)
+        self._loops: list[tuple[int, list[int]]] = []
+
+    def build(self, fn: ast.FunctionDef) -> CFG:
+        frontier = self._body(fn.body, [self.cfg.entry], ())
+        for nid in frontier:
+            self.cfg.edge(nid, self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _body(
+        self, stmts: list[ast.stmt], preds: list[int], stack: tuple[Frame, ...]
+    ) -> list[int]:
+        frontier = list(preds)
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier, stack)
+            if not frontier:  # everything returned/broke/continued
+                break
+        return frontier
+
+    def _stmt(
+        self, stmt: ast.stmt, preds: list[int], stack: tuple[Frame, ...]
+    ) -> list[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            branch = cfg.add("branch", stmt, stmt.test, stack)
+            for p in preds:
+                cfg.edge(p, branch.id)
+            then_stack = (*stack, Frame("if", branch.id, "then"))
+            then_f = self._body(stmt.body, [branch.id], then_stack)
+            if stmt.orelse:
+                else_stack = (*stack, Frame("if", branch.id, "else"))
+                else_f = self._body(stmt.orelse, [branch.id], else_stack)
+            else:
+                else_f = [branch.id]  # fall-through edge
+            return then_f + else_f
+
+        if isinstance(stmt, (ast.For, ast.While)):
+            test = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+            head = cfg.add("loop", stmt, test, stack)
+            for p in preds:
+                cfg.edge(p, head.id)
+            breaks: list[int] = []
+            self._loops.append((head.id, breaks))
+            body_stack = (*stack, Frame("loop", head.id))
+            body_f = self._body(stmt.body, [head.id], body_stack)
+            self._loops.pop()
+            for nid in body_f:
+                cfg.edge(nid, head.id)  # back edge
+            # the zero-trip / loop-exit path falls out of the head
+            out = [head.id, *breaks]
+            if stmt.orelse:
+                out = self._body(stmt.orelse, out, stack)
+            return out
+
+        if isinstance(stmt, ast.Return):
+            node = cfg.add("stmt", stmt, None, stack)
+            for p in preds:
+                cfg.edge(p, node.id)
+            cfg.edge(node.id, cfg.exit)
+            return []
+
+        if isinstance(stmt, ast.Continue):
+            node = cfg.add("stmt", stmt, None, stack)
+            for p in preds:
+                cfg.edge(p, node.id)
+            if self._loops:
+                cfg.edge(node.id, self._loops[-1][0])
+            return []
+
+        if isinstance(stmt, ast.Break):
+            node = cfg.add("stmt", stmt, None, stack)
+            for p in preds:
+                cfg.edge(p, node.id)
+            if self._loops:
+                self._loops[-1][1].append(node.id)
+            return []
+
+        if isinstance(stmt, ast.With):
+            node = cfg.add("stmt", stmt, None, stack)
+            for p in preds:
+                cfg.edge(p, node.id)
+            return self._body(stmt.body, [node.id], stack)
+
+        if isinstance(stmt, ast.Try):
+            # device code has no try/except in practice; flatten
+            # conservatively so the analysis never crashes on one
+            f = self._body(stmt.body, preds, stack)
+            for handler in stmt.handlers:
+                f = self._body(handler.body, f, stack)
+            if stmt.finalbody:
+                f = self._body(stmt.finalbody, f, stack)
+            return f
+
+        kind = "barrier" if is_barrier_stmt(stmt) else "stmt"
+        node = cfg.add(kind, stmt, None, stack)
+        for p in preds:
+            cfg.edge(p, node.id)
+        return [node.id]
+
+
+def build_cfg(fn: ast.FunctionDef) -> CFG:
+    """Build the statement-level CFG of one device-code function."""
+    return _Builder().build(fn)

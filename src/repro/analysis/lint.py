@@ -21,17 +21,31 @@ keep the simulation honest.  Three rules:
 
 ``GS003`` — locks are scoped
     Bare ``.acquire()`` on lock-like names (``lock``, ``_lock``,
-    ``mutex``, ...) is an unwind hazard — a raised exception between
-    ``acquire`` and ``release`` deadlocks the stream workers.  Use
-    ``with lock:``.
+    ``mutex``, ...), on names assigned from a ``Lock()`` / ``RLock()``
+    / ``Semaphore()`` / ``Condition()`` constructor, or inline on the
+    constructor itself (``threading.Lock().acquire()``) is an unwind
+    hazard — a raised exception between ``acquire`` and ``release``
+    deadlocks the stream workers.  Use ``with lock:``.
 
-Run as ``python -m repro.analysis.lint src`` (exit code 1 on findings);
-CI runs it next to the ``GPUSAN=1`` test job.
+``GS004`` — randomness is seeded
+    The legacy global-state ``np.random.*`` API (``np.random.rand``,
+    ``np.random.shuffle``, ``np.random.seed``, ...) and a bare
+    ``np.random.default_rng()`` draw from process-global or
+    entropy-seeded state; the sharded-recovery property tests rely on
+    bit-reproducible runs, so every random stream must be an explicit
+    seeded ``Generator`` / ``SeedSequence``.
+
+Run as ``python -m repro.analysis.lint [paths...] [--format
+text|json|github]`` (exit code 1 on findings); file discovery skips
+``__pycache__`` and ``*.egg-info`` artifacts.  CI runs it next to the
+``GPUSAN=1`` test job.
 """
 
 from __future__ import annotations
 
+import argparse
 import ast
+import json
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -63,6 +77,30 @@ _WALL_CLOCKS = {
 
 #: variable-name fragments treated as locks for GS003
 _LOCKISH = ("lock", "mutex", "sem", "semaphore", "condition")
+
+#: constructor names whose instances are locks for GS003 (covers
+#: ``threading.Lock().acquire()`` and receivers assigned from them)
+_LOCK_CONSTRUCTORS = {
+    "Lock",
+    "RLock",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Condition",
+}
+
+#: the only ``np.random`` attributes host code may call (GS004) — the
+#: explicitly seedable Generator/BitGenerator construction API
+_SEEDED_RANDOM_API = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
 
 
 @dataclass(frozen=True)
@@ -127,6 +165,9 @@ class _Linter(ast.NodeVisitor):
         #: names known to hold device-side buffers (module-wide — scope
         #: precision is not worth the complexity for a repo invariant)
         self.buffer_names: set[str] = set()
+        #: names assigned from Lock()/RLock()/... constructors (GS003
+        #: receivers that are not lock-*named*)
+        self.lock_names: set[str] = set()
 
     # -- bookkeeping: which names hold device buffers -------------------
     def _note_target(self, target: ast.expr) -> None:
@@ -139,6 +180,12 @@ class _Linter(ast.NodeVisitor):
             if fn in _BUFFER_FACTORIES:
                 for t in node.targets:
                     self._note_target(t)
+            if fn in _LOCK_CONSTRUCTORS:
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        self.lock_names.add(t.id)
+                    elif isinstance(t, ast.Attribute):
+                        self.lock_names.add(t.attr)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -223,19 +270,53 @@ class _Linter(ast.NodeVisitor):
                 "bare lock acquire(); use 'with <lock>:' so unwinding "
                 "releases it",
             )
+        self._check_gs004(node)
         self.generic_visit(node)
 
-    @staticmethod
-    def _lockish(node: ast.expr) -> bool:
+    def _lockish(self, node: ast.expr) -> bool:
         name = None
         if isinstance(node, ast.Name):
             name = node.id
         elif isinstance(node, ast.Attribute):
             name = node.attr
+        elif isinstance(node, ast.Call):
+            # inline constructor receiver: threading.Lock().acquire()
+            return _call_func_name(node) in _LOCK_CONSTRUCTORS
         if name is None:
             return False
+        if name in self.lock_names:
+            return True
         low = name.lower()
         return any(frag in low for frag in _LOCKISH)
+
+    # -- GS004 ----------------------------------------------------------
+    def _check_gs004(self, node: ast.Call) -> None:
+        fn = node.func
+        if not isinstance(fn, ast.Attribute):
+            return
+        base = fn.value
+        # np.random.<attr>(...) / numpy.random.<attr>(...)
+        if not (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in ("np", "numpy")
+        ):
+            return
+        if fn.attr not in _SEEDED_RANDOM_API:
+            self._finding(
+                "GS004",
+                node,
+                f"global-state 'np.random.{fn.attr}()'; draw from an "
+                f"explicit seeded Generator (np.random.default_rng(seed))",
+            )
+        elif fn.attr == "default_rng" and not node.args and not node.keywords:
+            self._finding(
+                "GS004",
+                node,
+                "entropy-seeded 'np.random.default_rng()'; pass an "
+                "explicit seed/SeedSequence for reproducible runs",
+            )
 
 
 def _is_device_layer(path: Path) -> bool:
@@ -252,12 +333,27 @@ def lint_source(
     return sorted(linter.findings, key=lambda f: (f.line, f.col))
 
 
+def _is_artifact(path: Path) -> bool:
+    """Build/debris directories whose .py files are not source."""
+    return any(
+        part == "__pycache__" or part.endswith(".egg-info")
+        for part in path.parts
+    )
+
+
 def run_lint(paths: Iterable[str]) -> list[LintFinding]:
-    """Lint every ``*.py`` under the given files/directories."""
+    """Lint every ``*.py`` under the given files/directories.
+
+    Skips ``__pycache__`` and ``*.egg-info`` artifact directories during
+    discovery (explicitly named files are always linted).
+    """
     findings: list[LintFinding] = []
     for root in paths:
         rootp = Path(root)
-        files = sorted(rootp.rglob("*.py")) if rootp.is_dir() else [rootp]
+        if rootp.is_dir():
+            files = [f for f in sorted(rootp.rglob("*.py")) if not _is_artifact(f)]
+        else:
+            files = [rootp]
         for f in files:
             findings.extend(
                 lint_source(
@@ -269,17 +365,42 @@ def run_lint(paths: Iterable[str]) -> list[LintFinding]:
     return findings
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    args = sys.argv[1:] if argv is None else argv
-    targets = args or ["src"]
-    findings = run_lint(targets)
+def _emit(findings: list[LintFinding], fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+        return
     for f in findings:
-        print(f.render())
-    if findings:
-        print(f"gpulint: {len(findings)} finding(s)")
-        return 1
-    print("gpulint: clean")
-    return 0
+        if fmt == "github":
+            print(
+                f"::error file={f.path},line={f.line},col={f.col},"
+                f"title={f.rule}::{f.message}"
+            )
+        else:
+            print(f.render())
+    if fmt == "text":
+        if findings:
+            print(f"gpulint: {len(findings)} finding(s)")
+        else:
+            print("gpulint: clean")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.lint", description="repo-invariant AST lint"
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (github emits workflow annotations)",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    findings = run_lint(args.paths)
+    _emit(findings, args.format)
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI shim

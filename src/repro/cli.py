@@ -13,6 +13,9 @@ Commands
     Compute an OPTICS ordering and extract clusterings.
 ``info``
     Describe a dataset (size, extent, density profile).
+``analyze kernels``
+    kernelcheck: static verification of the registered device kernels
+    (barrier divergence, shared-memory races, coalescing, occupancy).
 
 Point inputs are either a path to a ``.npy``/``.csv`` file with x, y in
 the first two columns, or one of the paper's dataset names
@@ -193,6 +196,27 @@ def build_parser() -> argparse.ArgumentParser:
     common(i)
     i.add_argument("--eps", type=float, default=None,
                    help="eps for the density profile (default: auto)")
+
+    a = sub.add_parser(
+        "analyze", help="static analysis of the simulated-GPU code"
+    )
+    asub = a.add_subparsers(dest="target", required=True)
+    ak = asub.add_parser(
+        "kernels",
+        help="kernelcheck: KC001 barrier divergence, KC002 shared-memory "
+             "races, KC003 coalescing, KC004 static occupancy over every "
+             "registered kernel",
+    )
+    ak.add_argument("--format", choices=["text", "json"], default="text")
+    ak.add_argument(
+        "--fail-on", choices=["warn", "error"], default="error",
+        dest="fail_on",
+        help="exit 1 when findings at/above this severity exist",
+    )
+    ak.add_argument(
+        "--block-dims", type=int, nargs="+", default=None, metavar="BD",
+        help="block sizes the static occupancy table is evaluated at",
+    )
     return p
 
 
@@ -441,12 +465,36 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis.kernelcheck import (
+        DEFAULT_BLOCK_DIMS,
+        SEVERITY_ORDER,
+        analyze_shipped,
+        render_text,
+        worst_severity,
+    )
+
+    block_dims = tuple(args.block_dims) if args.block_dims else DEFAULT_BLOCK_DIMS
+    reports = analyze_shipped(block_dims=block_dims)
+    if args.format == "json":
+        print(json.dumps(
+            [r.to_dict() for r in reports], indent=2, sort_keys=True
+        ))
+    else:
+        print(render_text(reports))
+    worst = worst_severity(reports)
+    if worst is not None and SEVERITY_ORDER[worst] >= SEVERITY_ORDER[args.fail_on]:
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "cluster": _cmd_cluster,
     "sweep": _cmd_sweep,
     "reuse": _cmd_reuse,
     "optics": _cmd_optics,
     "info": _cmd_info,
+    "analyze": _cmd_analyze,
 }
 
 

@@ -13,6 +13,7 @@ Each kernel provides interpreter device code and a vectorized backend;
 they produce identical key/value result sets (property-tested).
 """
 
+from repro.gpusim.launch import Kernel
 from repro.kernels.count_kernel import NeighborCountKernel
 from repro.kernels.global_kernel import GPUCalcGlobal, batch_point_ids
 from repro.kernels.hybrid_select import HybridSelectKernel
@@ -24,4 +25,20 @@ __all__ = [
     "HybridSelectKernel",
     "NeighborCountKernel",
     "batch_point_ids",
+    "shipped_kernels",
 ]
+
+
+def shipped_kernels() -> list[Kernel]:
+    """The registered kernel set, in launch order of the pipeline.
+
+    This is the registry static analysis walks
+    (``repro analyze kernels`` / :mod:`repro.analysis.kernelcheck`);
+    a kernel missing here ships without its pre-launch verification.
+    """
+    return [
+        NeighborCountKernel(),
+        GPUCalcGlobal(),
+        GPUCalcShared(),
+        HybridSelectKernel(),
+    ]

@@ -34,15 +34,25 @@ __all__ = ["HybridSelectKernel", "partition_cells"]
 
 
 def partition_cells(
-    grid: GridIndex, dense_threshold: int
+    grid: GridIndex, dense_threshold: int, *, include_ties: bool = True
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Split non-empty cells into (dense_cells, sparse_cells) by
-    occupancy ``>= dense_threshold``."""
+    """Split non-empty cells into (dense_cells, sparse_cells).
+
+    ``include_ties`` decides where cells holding *exactly*
+    ``dense_threshold`` points go: ``True`` (the default) sends them to
+    the dense/shared side (``counts >= threshold``), ``False`` to the
+    sparse/global side (``counts > threshold``).  The tie direction is
+    a pure scheduling choice — either partition yields the identical
+    result set — which is why it can be driven by a static occupancy
+    hint (see :func:`repro.analysis.kernelcheck.ties_dense_hint`).
+    """
     if dense_threshold < 1:
         raise ValueError("dense_threshold must be >= 1")
     cells = grid.nonempty_cells
     counts = grid.cell_max[cells] - grid.cell_min[cells] + 1
-    dense = counts >= dense_threshold
+    dense = (
+        counts >= dense_threshold if include_ties else counts > dense_threshold
+    )
     return cells[dense], cells[~dense]
 
 
@@ -51,10 +61,36 @@ class HybridSelectKernel(Kernel):
 
     name = "HybridSelect"
 
-    def __init__(self, dense_threshold: int | None = None):
+    def __init__(
+        self,
+        dense_threshold: int | None = None,
+        *,
+        occupancy_hint: dict[int, bool] | None = None,
+    ):
         #: cells with at least this many points go to the shared path;
         #: None derives block_dim // 4 at launch time
         self.dense_threshold = dense_threshold
+        #: static-occupancy tie-break table (block_dim -> ties go dense),
+        #: produced by ``repro.analysis.kernelcheck.ties_dense_hint``;
+        #: None keeps the legacy ties-dense behaviour
+        self.occupancy_hint = occupancy_hint
+
+    @classmethod
+    def with_static_hint(
+        cls, dense_threshold: int | None = None, *, spec=None
+    ) -> "HybridSelectKernel":
+        """Construct with the tie-break driven by kernelcheck's static
+        occupancy table for the target device spec."""
+        from repro.analysis.kernelcheck import ties_dense_hint
+
+        return cls(dense_threshold, occupancy_hint=ties_dense_hint(spec=spec))
+
+    def _ties_dense(self, block_dim: int) -> bool:
+        """Whether threshold-exact cells take the shared path at this
+        block size (the static-occupancy tie-break)."""
+        if self.occupancy_hint is None:
+            return True
+        return bool(self.occupancy_hint.get(block_dim, True))
 
     def shared_mem_per_block(self, block_dim: int) -> int:
         """Worst-case footprint: the dense path's tiles (as in
@@ -66,7 +102,9 @@ class HybridSelectKernel(Kernel):
     def launch_config(self, grid: GridIndex, *, block_dim: int = 256) -> LaunchConfig:
         """Blocks for the dense cells plus blocks covering sparse points."""
         thr = self.dense_threshold or max(1, block_dim // 4)
-        dense_cells, sparse_cells = partition_cells(grid, thr)
+        dense_cells, sparse_cells = partition_cells(
+            grid, thr, include_ties=self._ties_dense(block_dim)
+        )
         n_sparse_pts = int(
             (grid.cell_max[sparse_cells] - grid.cell_min[sparse_cells] + 1).sum()
         )
@@ -89,7 +127,9 @@ class HybridSelectKernel(Kernel):
     ) -> int:
         bs = config.block_dim
         thr = self.dense_threshold or max(1, bs // 4)
-        dense_cells, sparse_cells = partition_cells(grid, thr)
+        dense_cells, sparse_cells = partition_cells(
+            grid, thr, include_ties=self._ties_dense(bs)
+        )
         pts = grid.points
         eps2 = grid.eps * grid.eps
         total = 0

@@ -1,0 +1,35 @@
+"""Seeded-violation kernel corpus for kernelcheck.
+
+Each module defines Kernel subclasses whose ``device_code`` contains
+exactly one intended defect; :data:`BAD_KERNELS` maps every corpus
+kernel to the rule it must trigger.  The test suite asserts that
+kernelcheck fires the expected rule on each (and that no *other* rule
+fires, so the corpus doubles as a precision check).
+"""
+
+from tests.analysis.badkernels.kc001 import BranchBarrierKernel, EarlyReturnKernel
+from tests.analysis.badkernels.kc002 import SharedRWRaceKernel, SharedWWRaceKernel
+from tests.analysis.badkernels.kc003 import NonAffineKernel, StridedKernel
+from tests.analysis.badkernels.kc004 import UndeclaredSharedKernel
+
+#: (kernel instance, rule it must trigger)
+BAD_KERNELS = [
+    (BranchBarrierKernel(), "KC001"),
+    (EarlyReturnKernel(), "KC001"),
+    (SharedRWRaceKernel(), "KC002"),
+    (SharedWWRaceKernel(), "KC002"),
+    (StridedKernel(), "KC003"),
+    (NonAffineKernel(), "KC003"),
+    (UndeclaredSharedKernel(), "KC004"),
+]
+
+__all__ = [
+    "BAD_KERNELS",
+    "BranchBarrierKernel",
+    "EarlyReturnKernel",
+    "SharedRWRaceKernel",
+    "SharedWWRaceKernel",
+    "StridedKernel",
+    "NonAffineKernel",
+    "UndeclaredSharedKernel",
+]

@@ -1,0 +1,33 @@
+"""KC001 seeds: barriers control-dependent on thread-dependent state."""
+
+import numpy as np
+
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel
+
+
+class BranchBarrierKernel(Kernel):
+    """Barrier inside a tid-dependent branch with no sibling barrier —
+    threads where ``tid >= 16`` never arrive and the block hangs."""
+
+    name = "BadBranchBarrier"
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray) -> None:
+        tid = ctx.thread_idx
+        if tid < 16:
+            yield ctx.syncthreads()
+        out[tid] = 1
+
+
+class EarlyReturnKernel(Kernel):
+    """Thread-dependent early return that skips a downstream barrier —
+    the returned threads are missing at the rendezvous."""
+
+    name = "BadEarlyReturn"
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray) -> None:
+        tid = ctx.thread_idx
+        if tid >= 8:
+            return
+        yield ctx.syncthreads()
+        out[tid] = 1

@@ -1,0 +1,39 @@
+"""KC002 seeds: shared-memory accesses racing across a barrier-free path."""
+
+import numpy as np
+
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel
+
+
+class SharedRWRaceKernel(Kernel):
+    """Each thread writes its own slot then reads its neighbour's with
+    no barrier in between — reads observe undefined freshness."""
+
+    name = "BadSharedRW"
+
+    def shared_mem_per_block(self, block_dim: int) -> int:
+        return 8 * block_dim
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray) -> None:
+        tid = ctx.thread_idx
+        buf = ctx.shared("buf", (ctx.block_dim,), np.int64)
+        buf[tid] = tid
+        out[tid] = buf[tid + 1]
+
+
+class SharedWWRaceKernel(Kernel):
+    """Every thread writes shared slot 0 unguarded — last writer wins
+    nondeterministically (needs an ``if tid == 0:`` guard)."""
+
+    name = "BadSharedWW"
+
+    def shared_mem_per_block(self, block_dim: int) -> int:
+        return 8
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray) -> None:
+        tid = ctx.thread_idx
+        flag = ctx.shared("flag", (1,), np.int64)
+        flag[0] = tid
+        yield ctx.syncthreads()
+        out[tid] = flag[0]

@@ -1,0 +1,28 @@
+"""KC003 seeds: uncoalesced global-memory index patterns."""
+
+import numpy as np
+
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel
+
+
+class StridedKernel(Kernel):
+    """Constant stride-4 global store: each warp touches 4x the cache
+    lines a unit-stride layout would."""
+
+    name = "BadStride"
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray) -> None:
+        tid = ctx.thread_idx
+        out[tid * 4] = tid
+
+
+class NonAffineKernel(Kernel):
+    """Global index that is a non-affine pure function of the thread id
+    (``tid * tid``) — neighbouring threads scatter arbitrarily."""
+
+    name = "BadNonAffine"
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray) -> None:
+        tid = ctx.thread_idx
+        out[tid * tid] = tid

@@ -1,0 +1,21 @@
+"""KC004 seed: device code allocating more shared memory than declared."""
+
+import numpy as np
+
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel
+
+
+class UndeclaredSharedKernel(Kernel):
+    """Allocates ``block_dim * 64`` shared bytes while inheriting the
+    base declaration of 0 — occupancy prediction and the runtime budget
+    check disagree."""
+
+    name = "BadUndeclaredShared"
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray) -> None:
+        tid = ctx.thread_idx
+        big = ctx.shared("big", (ctx.block_dim, 8), np.float64)
+        big[tid, 0] = 1.0
+        yield ctx.syncthreads()
+        out[tid] = big[tid, 0]

@@ -1,0 +1,30 @@
+"""Regenerate the golden kernelcheck reports.
+
+Run after an *intentional* analyzer or kernel change::
+
+    PYTHONPATH=src:. python -m tests.analysis.regolden
+
+then review the diff — a golden churn you cannot explain is a finding,
+not an update.
+"""
+
+from pathlib import Path
+
+from repro.analysis.kernelcheck import analyze_kernel
+from repro.kernels import shipped_kernels
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for kernel in shipped_kernels():
+        path = GOLDEN_DIR / f"{kernel.name}.json"
+        path.write_text(
+            analyze_kernel(kernel).to_json() + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,255 @@
+"""Tests for kernelcheck (static device-kernel verification).
+
+Four layers:
+
+* the seeded-violation corpus (``tests/analysis/badkernels``) proves
+  each pass *fires* — and fires alone, so the corpus doubles as a
+  precision check;
+* the shipped-kernel gate proves the registered kernels are clean (the
+  invariant CI enforces with ``repro analyze kernels --fail-on error``);
+* the KC004 agreement test proves the static occupancy table is the
+  *same number* the simulator computes at launch time;
+* golden snapshots pin the full report shape per shipped kernel.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.kernelcheck import (
+    DEFAULT_BLOCK_DIMS,
+    analyze_device_source,
+    analyze_kernel,
+    analyze_shipped,
+    static_occupancy_table,
+    ties_dense_hint,
+    worst_severity,
+)
+from repro.gpusim import Device, launch
+from repro.gpusim.device import DeviceSpec
+from repro.index import GridIndex
+from repro.kernels import GPUCalcShared, HybridSelectKernel, shipped_kernels
+from repro.kernels.hybrid_select import partition_cells
+from tests.analysis.badkernels import BAD_KERNELS
+from tests.kernels.conftest import truth_pairs
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: a second (smaller) card so the occupancy cross-check is not
+#: vacuously tied to the K20c defaults
+SMALL_SPEC = DeviceSpec(
+    name="SimSmall-16K",
+    sm_count=4,
+    shared_mem_per_block_bytes=16 * 1024,
+)
+
+
+# ======================================================================
+# seeded-violation corpus
+# ======================================================================
+class TestBadKernelCorpus:
+    @pytest.mark.parametrize(
+        "kernel,expected",
+        [(k, r) for k, r in BAD_KERNELS],
+        ids=[k.name for k, _ in BAD_KERNELS],
+    )
+    def test_expected_rule_fires(self, kernel, expected):
+        report = analyze_kernel(kernel)
+        rules = {f.rule for f in report.findings}
+        assert expected in rules
+
+    @pytest.mark.parametrize(
+        "kernel,expected",
+        [(k, r) for k, r in BAD_KERNELS],
+        ids=[k.name for k, _ in BAD_KERNELS],
+    )
+    def test_no_other_rule_fires(self, kernel, expected):
+        """Each seed is a *minimal* violation — cross-talk between the
+        passes would mean a precision bug."""
+        report = analyze_kernel(kernel)
+        assert {f.rule for f in report.findings} == {expected}
+
+    def test_corpus_covers_every_rule(self):
+        assert {r for _, r in BAD_KERNELS} == {"KC001", "KC002", "KC003", "KC004"}
+
+
+# ======================================================================
+# shipped kernels are clean
+# ======================================================================
+class TestShippedKernelsClean:
+    def test_zero_findings(self):
+        reports = analyze_shipped()
+        bad = [f.render() for r in reports for f in r.findings]
+        assert bad == []
+        assert worst_severity(reports) is None
+
+    def test_all_registered_kernels_analyzed(self):
+        names = {r.kernel for r in analyze_shipped()}
+        assert names == {k.name for k in shipped_kernels()}
+
+    def test_vector_only_kernel_still_gets_occupancy(self):
+        (report,) = [
+            r for r in analyze_shipped() if r.kernel == "HybridSelect"
+        ]
+        assert not report.has_device_code
+        assert report.occupancy  # KC004 runs even without device code
+
+
+# ======================================================================
+# KC004: static occupancy == simulator occupancy
+# ======================================================================
+class TestOccupancyAgreement:
+    @pytest.mark.parametrize("spec", [DeviceSpec(), SMALL_SPEC], ids=lambda s: s.name)
+    @pytest.mark.parametrize("block_dim", [64, 128, 256])
+    def test_static_matches_launch(self, spec, block_dim):
+        """The static table must reproduce ``LaunchResult.occupancy``
+        bit-for-bit — same limits, same inputs, same arithmetic."""
+        entry = static_occupancy_table(
+            GPUCalcShared(), block_dims=(block_dim,), spec=spec
+        )[block_dim]
+        device = Device(spec=spec)
+        rng = np.random.default_rng(7)
+        grid = GridIndex.build(rng.random((120, 2)) * 3, 0.4)
+        result = device.allocate_result_buffer((64 * 1024, 2), np.int64, name="R")
+        cfg = GPUCalcShared.launch_config(grid, block_dim=block_dim)
+        res = launch(GPUCalcShared(), cfg, device, grid=grid, result=result)
+        assert entry.feasible
+        assert res.occupancy is not None
+        assert entry.fraction == res.occupancy.fraction
+        assert entry.active_blocks_per_sm == res.occupancy.active_blocks_per_sm
+        assert entry.limiter == res.occupancy.limiter
+
+    def test_shared_footprint_matches_declaration(self):
+        """KC004's AST extraction recovers exactly the declared
+        48*block_dim + 80 bytes of GPUCalcShared."""
+        report = analyze_kernel(GPUCalcShared())
+        for bd in DEFAULT_BLOCK_DIMS:
+            assert report.static_shared_bytes[bd] == 48 * bd + 80
+            assert report.static_shared_bytes[bd] == report.declared_shared_bytes[bd]
+
+
+# ======================================================================
+# golden report snapshots
+# ======================================================================
+class TestGoldenReports:
+    @pytest.mark.parametrize(
+        "kernel", shipped_kernels(), ids=lambda k: k.name
+    )
+    def test_report_matches_golden(self, kernel):
+        """Full report dict per shipped kernel, pinned on disk.  On an
+        intentional analyzer/kernel change, regenerate with
+        ``python -m tests.analysis.regolden``."""
+        got = analyze_kernel(kernel).to_dict()
+        path = GOLDEN_DIR / f"{kernel.name}.json"
+        want = json.loads(path.read_text(encoding="utf-8"))
+        assert got == want
+
+
+# ======================================================================
+# no false positives on straight-line kernels (property)
+# ======================================================================
+_STMT_POOL = (
+    "        t{i} = tid + {c}\n",
+    "        buf[tid] = {c}\n",
+    "        out[tid] = buf[tid]\n",
+    "        yield ctx.syncthreads()\n",
+    "        acc = acc + {c}\n",
+)
+
+
+def _straight_line_source(choices: list[tuple[int, int]]) -> str:
+    body = "".join(
+        _STMT_POOL[s].format(i=i, c=c) for i, (s, c) in enumerate(choices)
+    )
+    return (
+        "def device_code(self, ctx, *, out):\n"
+        "        tid = ctx.thread_idx\n"
+        "        acc = 0\n"
+        '        buf = ctx.shared("buf", (ctx.block_dim,), np.int64)\n'
+        "        buf[tid] = tid\n" + body + "        out[tid] = acc\n"
+    )
+
+
+class TestStraightLineProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, len(_STMT_POOL) - 1), st.integers(0, 7)
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    def test_no_divergence_or_race_findings(self, choices):
+        """Straight-line code (no branches) cannot diverge at a barrier,
+        and per-thread shared slots (``buf[tid]``) cannot race — the
+        analyzer must agree on every generated kernel."""
+        findings = analyze_device_source(
+            _straight_line_source(choices), "straightline"
+        )
+        rules = {f.rule for f in findings}
+        assert "KC001" not in rules
+        assert "KC002" not in rules
+
+
+# ======================================================================
+# static occupancy hint → hybrid tie-break
+# ======================================================================
+class TestTieBreakHint:
+    def test_k20c_large_blocks_send_ties_sparse(self):
+        """At bd=256 on the K20c the shared path's 12 KiB footprint caps
+        occupancy at 0.375 while the global path is fully occupied —
+        threshold-exact cells should take the global path."""
+        hint = ties_dense_hint()
+        assert hint[256] is False
+        assert set(map(type, hint.values())) == {bool}
+
+    def test_hint_respects_spec(self):
+        roomy = DeviceSpec(name="roomy", shared_mem_per_block_bytes=512 * 1024)
+        hint = ties_dense_hint(block_dims=(256,), spec=roomy)
+        assert hint[256] is True  # footprint no longer depresses occupancy
+
+    def test_partition_tie_direction(self):
+        rng = np.random.default_rng(3)
+        grid = GridIndex.build(rng.random((200, 2)) * 2, 0.5)
+        cells = grid.nonempty_cells
+        counts = grid.cell_max[cells] - grid.cell_min[cells] + 1
+        thr = int(np.median(counts))
+        dense_in, sparse_in = partition_cells(grid, thr, include_ties=True)
+        dense_out, sparse_out = partition_cells(grid, thr, include_ties=False)
+        ties = counts == thr
+        assert len(dense_in) - len(dense_out) == int(ties.sum())
+        # both splits cover every non-empty cell exactly once
+        for d, s in ((dense_in, sparse_in), (dense_out, sparse_out)):
+            assert sorted([*d.tolist(), *s.tolist()]) == sorted(cells.tolist())
+
+    def test_hinted_kernel_is_still_correct(self):
+        """The tie-break is pure scheduling: the hinted hybrid kernel
+        must produce the exact ε-pair truth set either way."""
+        rng = np.random.default_rng(11)
+        grid = GridIndex.build(rng.random((150, 2)) * 2, 0.45)
+        want = truth_pairs(grid)
+        for kernel in (
+            HybridSelectKernel(),
+            HybridSelectKernel.with_static_hint(),
+            HybridSelectKernel(occupancy_hint={256: False}),
+        ):
+            device = Device()
+            result = device.allocate_result_buffer(
+                (128 * 1024, 2), np.int64, name="R"
+            )
+            cfg = kernel.launch_config(grid, block_dim=256)
+            launch(kernel, cfg, device, grid=grid, result=result)
+            got = set(map(tuple, result.view().tolist()))
+            assert got == want
+
+    def test_with_static_hint_populates_table(self):
+        k = HybridSelectKernel.with_static_hint()
+        assert k.occupancy_hint is not None
+        assert k._ties_dense(256) is False
+        assert HybridSelectKernel()._ties_dense(256) is True  # legacy default

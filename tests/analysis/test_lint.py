@@ -1,5 +1,6 @@
-"""Tests for the repo-invariant AST lint (GS001/GS002/GS003)."""
+"""Tests for the repo-invariant AST lint (GS001–GS004)."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -103,6 +104,67 @@ class TestGS003BareAcquire:
         src = "connection.acquire()\n"
         assert lint_source(src, "core/x.py") == []
 
+    def test_inline_constructor_flagged(self):
+        src = "import threading\nthreading.Lock().acquire()\n"
+        assert rules(lint_source(src, "core/x.py")) == ["GS003"]
+
+    def test_assigned_constructor_receiver_flagged(self):
+        """A lock hiding behind an innocent name is still a lock."""
+        for ctor in ("Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition"):
+            src = (
+                f"import threading\n"
+                f"guard = threading.{ctor}()\n"
+                f"guard.acquire()\n"
+            )
+            assert rules(lint_source(src, "core/x.py")) == ["GS003"]
+
+    def test_assigned_attribute_receiver_flagged(self):
+        src = (
+            "import threading\n"
+            "self.guard = threading.Lock()\n"
+            "self.guard.acquire()\n"
+        )
+        assert rules(lint_source(src, "core/x.py")) == ["GS003"]
+
+    def test_with_assigned_constructor_ok(self):
+        src = "import threading\nguard = threading.Lock()\nwith guard:\n    pass\n"
+        assert lint_source(src, "core/x.py") == []
+
+
+class TestGS004SeededRandom:
+    def test_legacy_global_api_flagged(self):
+        for call in ("rand(3)", "shuffle(a)", "seed(0)", "randint(0, 9)"):
+            src = f"import numpy as np\nnp.random.{call}\n"
+            assert rules(lint_source(src, "core/x.py")) == ["GS004"]
+
+    def test_full_module_name_flagged(self):
+        src = "import numpy\nnumpy.random.rand(3)\n"
+        assert rules(lint_source(src, "core/x.py")) == ["GS004"]
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nr = np.random.default_rng()\n"
+        assert rules(lint_source(src, "core/x.py")) == ["GS004"]
+
+    def test_seeded_generator_api_ok(self):
+        for call in (
+            "default_rng(7)",
+            "default_rng(seed=7)",
+            "SeedSequence(1)",
+            "Generator(np.random.PCG64(3))",
+        ):
+            src = f"import numpy as np\nr = np.random.{call}\n"
+            assert lint_source(src, "core/x.py") == []
+
+    def test_instance_methods_ok(self):
+        """Draws from an explicit Generator are not the global API."""
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "x = rng.random(3)\n"
+            "rng.shuffle(x)\n"
+        )
+        assert lint_source(src, "core/x.py") == []
+
 
 class TestRunner:
     def test_run_lint_walks_tree(self, tmp_path):
@@ -134,6 +196,45 @@ class TestRunner:
         bad.write_text("def f(:\n")
         with pytest.raises(SyntaxError):
             run_lint([str(bad)])
+
+    def test_discovery_skips_artifacts(self, tmp_path):
+        """Byte-compiled caches and egg-info debris under a lint root
+        must not produce findings (or SyntaxErrors)."""
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("the_lock.acquire()\n")
+        (tmp_path / "pkg.egg-info").mkdir()
+        (tmp_path / "pkg.egg-info" / "junk.py").write_text("def f(:\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert run_lint([str(tmp_path)]) == []
+
+    def test_explicit_file_always_linted(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        f = tmp_path / "__pycache__" / "junk.py"
+        f.write_text("the_lock.acquire()\n")
+        assert rules(run_lint([str(f)])) == ["GS003"]
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("the_lock.acquire()\n")
+        assert main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "GS003"
+        assert payload[0]["line"] == 1
+        # clean run emits a valid (empty) document too
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_github_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.rand(3)\n")
+        assert main([str(bad), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert f"file={bad}" in out
+        assert "line=2" in out
+        assert "title=GS004" in out
 
 
 class TestRepoIsClean:

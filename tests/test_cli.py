@@ -225,6 +225,37 @@ class TestInfo:
         assert payload["profile_eps"] == 0.5
 
 
+class TestAnalyze:
+    def test_kernels_text(self, capsys):
+        code, out = run_cli(capsys, ["analyze", "kernels"])
+        assert code == 0  # shipped kernels are clean
+        assert "GPUCalcShared" in out
+        assert "kernelcheck" in out
+
+    def test_kernels_json(self, capsys):
+        code, out = run_cli(capsys, ["analyze", "kernels", "--format", "json"])
+        assert code == 0
+        reports = json.loads(out)
+        assert {r["kernel"] for r in reports} == {
+            "NeighborCount",
+            "GPUCalcGlobal",
+            "GPUCalcShared",
+            "HybridSelect",
+        }
+        assert all(r["findings"] == [] for r in reports)
+
+    def test_kernels_block_dims(self, capsys):
+        code, out = run_cli(
+            capsys,
+            ["analyze", "kernels", "--format", "json", "--block-dims", "32"],
+        )
+        shared = next(
+            r for r in json.loads(out) if r["kernel"] == "GPUCalcShared"
+        )
+        assert list(shared["static_shared_bytes"]) == ["32"]
+        assert shared["static_shared_bytes"]["32"] == 48 * 32 + 80
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
