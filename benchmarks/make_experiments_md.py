@@ -236,6 +236,10 @@ def ablations() -> str:
          "wholesale shard faults (device OOM, device loss) are absorbed "
          "by retry/fallback or quad-split without recomputing finished "
          "shards; labels bit-identical under every policy"),
+        ("BENCH_cluster_device", "device-resident cluster formation (extension)",
+         "union-find label kernels replace the host DBSCAN pass; labels "
+         "bit-identical to the host components path at every density, "
+         "round count grows with neighborhood density"),
         ("bandwidth_model", "bandwidth model (future work)",
          "device phase accelerates toward NVLink; saturates when compute-bound"),
     ]

@@ -108,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--eps", type=float, required=True)
     c.add_argument("--minpts", type=int, default=4)
     c.add_argument("--kernel", choices=["global", "shared"], default="global")
+    c.add_argument(
+        "--cluster-on", choices=["host", "device"], default="host",
+        help="where cluster formation runs: 'host' (Algorithm 4's CPU "
+             "DBSCAN over T) or 'device' (union-find label kernels on "
+             "the simulated GPU; labels bit-identical)",
+    )
     c.add_argument("--labels-out", help="write labels to this .npy file")
     c.add_argument(
         "--recovery",
@@ -236,6 +242,7 @@ def _cmd_cluster(args) -> int:
         device,
         kernel=args.kernel,
         batch_config=BatchConfig(recovery=args.recovery),
+        cluster_on=args.cluster_on,
     ).fit(pts, args.eps, args.minpts)
     if args.labels_out:
         np.save(args.labels_out, res.labels)
@@ -247,6 +254,7 @@ def _cmd_cluster(args) -> int:
         "noise": res.n_noise,
         "pairs": res.total_pairs,
         "batches": res.n_batches,
+        "cluster_on": args.cluster_on,
         "total_s": round(res.timings.total_s, 4),
         "gpu_s": round(res.timings.gpu_s, 4),
         "dbscan_s": round(res.timings.dbscan_s, 4),
@@ -325,6 +333,7 @@ def _cmd_cluster_sharded(args, pts: np.ndarray) -> int:
             kernel=args.kernel,
             batch_config=BatchConfig(recovery=args.recovery),
             sanitize=True if args.sanitize else None,
+            cluster_on=args.cluster_on,
         )
     except ShardFailureError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -339,6 +348,7 @@ def _cmd_cluster_sharded(args, pts: np.ndarray) -> int:
         "noise": res.n_noise,
         "shards": len(res.shard_stats),
         "shard_grid": f"{nx}x{ny}",
+        "cluster_on": args.cluster_on,
         "workers": args.shard_workers,
         "serial_s": round(res.serial_s, 4),
         "makespan_s": round(res.makespan_s, 4),

@@ -10,6 +10,11 @@
 """
 
 from repro.core.batching import BatchConfig, BatchPlan, BatchPlanner, RecoveryStats
+from repro.core.device_cluster import (
+    DeviceClusterResult,
+    dbscan_from_table_device,
+    device_cluster_table,
+)
 from repro.core.hybrid_dbscan import DBSCANResult, HybridDBSCAN, TimingBreakdown
 from repro.core.multi_eps import EpsSweepResult, cluster_eps_sweep
 from repro.core.neighbor_table import NeighborTable
@@ -69,6 +74,9 @@ __all__ = [
     "optics",
     "extract_dbscan",
     "NOISE",
+    "DeviceClusterResult",
+    "dbscan_from_table_device",
+    "device_cluster_table",
     "dbscan_from_table_expand",
     "dbscan_from_table_components",
     "dbscan_from_annotated_table",

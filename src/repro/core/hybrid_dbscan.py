@@ -121,7 +121,12 @@ class HybridDBSCAN:
         fidelity runs).
     dbscan_impl:
         ``"components"`` (vectorized, default) or ``"expand"``
-        (faithful Algorithm 1 adaptation).
+        (faithful Algorithm 1 adaptation).  Host path only.
+    cluster_on:
+        ``"host"`` (the paper's Algorithm 4: DBSCAN over ``T`` on the
+        CPU) or ``"device"`` (cluster formation stays on the simulated
+        GPU — union-find label kernels over ``T``; see
+        :mod:`repro.core.device_cluster`).  Labels are bit-identical.
     sanitize:
         Attach the gpusanitizer to the implicitly-created device
         (ignored when ``device`` is passed explicitly; ``None`` defers
@@ -136,14 +141,18 @@ class HybridDBSCAN:
         batch_config: Optional[BatchConfig] = None,
         backend: Literal["vector", "interpreter"] = "vector",
         dbscan_impl: Literal["components", "expand"] = "components",
+        cluster_on: Literal["host", "device"] = "host",
         block_dim: int = 256,
         sanitize: Optional[bool] = None,
     ):
+        if cluster_on not in ("host", "device"):
+            raise ValueError(f"unknown cluster_on {cluster_on!r}")
         self.device = device or Device(sanitize=sanitize)
         self.kernel = kernel
         self.batch_config = batch_config or BatchConfig()
         self.backend = backend
         self.dbscan_impl = dbscan_impl
+        self.cluster_on = cluster_on
         self.block_dim = block_dim
 
     # ------------------------------------------------------------------
@@ -187,10 +196,38 @@ class HybridDBSCAN:
     # phase 4: clustering from T
     # ------------------------------------------------------------------
     def cluster_table(
-        self, grid: GridIndex, table: NeighborTable, minpts: int
+        self,
+        grid: GridIndex,
+        table: NeighborTable,
+        minpts: int,
+        *,
+        where: Optional[Literal["host", "device"]] = None,
     ) -> np.ndarray:
-        """Run the modified DBSCAN over ``T``; labels in original order."""
-        labels_sorted = dbscan_from_table(table, minpts, impl=self.dbscan_impl)
+        """Run the modified DBSCAN over ``T``; labels in original order.
+
+        ``where`` overrides the instance's ``cluster_on`` for this call:
+        ``"host"`` runs :func:`~repro.core.table_dbscan.dbscan_from_table`
+        on the CPU, ``"device"`` runs the union-find label kernels on
+        this instance's simulated device.  Both produce bit-identical
+        labels.
+        """
+        where = self.cluster_on if where is None else where
+        if where == "host":
+            labels_sorted = dbscan_from_table(
+                table, minpts, impl=self.dbscan_impl
+            )
+        elif where == "device":
+            from repro.core.device_cluster import dbscan_from_table_device
+
+            labels_sorted = dbscan_from_table_device(
+                table,
+                minpts,
+                device=self.device,
+                backend=self.backend,
+                block_dim=self.block_dim,
+            )
+        else:
+            raise ValueError(f"unknown cluster_table target {where!r}")
         labels = np.empty_like(labels_sorted)
         labels[grid.sort_order] = labels_sorted
         return labels
@@ -207,6 +244,8 @@ class HybridDBSCAN:
         t2 = time.perf_counter()
         timings.dbscan_s = t2 - t1
         timings.total_s = t2 - t0
+        # the device cluster path adds launches after the build snapshot
+        timings.device_ms = self.device.profiler.total_device_ms()
         return DBSCANResult(
             labels=labels,
             eps=float(eps),
@@ -226,8 +265,10 @@ class HybridDBSCAN:
 
         Partitions the dataset into ε-aligned tiles with ε-wide halos,
         builds each shard's table independently on a fresh bounded
-        device (this instance's kernel/batching/backend settings are
-        reused), and merges the shard-local clusterings into labels
+        device (this instance's kernel/batching/backend/``cluster_on``
+        settings are reused — with ``cluster_on="device"`` shard-local
+        labeling runs on the shard's own bounded device too), and
+        merges the shard-local clusterings into labels
         bit-identical to :meth:`fit` with the components
         implementation.  See :mod:`repro.core.sharding`.
 
@@ -257,4 +298,5 @@ class HybridDBSCAN:
             block_dim=self.block_dim,
             device_spec=self.device.spec,
             sanitize=self.device.sanitizer is not None,
+            cluster_on=self.cluster_on,
         )

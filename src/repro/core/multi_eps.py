@@ -77,6 +77,13 @@ def cluster_eps_sweep(
         raise ValueError("eps_values must be non-empty")
     if any(e <= 0 for e in eps_values):
         raise ValueError("eps values must be positive")
+    # validate the cheap scalar arguments *before* the expensive
+    # annotated table build — a bad minpts must fail in microseconds,
+    # not after a full GPU pass
+    if minpts < 1:
+        raise ValueError("minpts must be >= 1")
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
     h = hybrid or HybridDBSCAN()
     if h.kernel != "global":
         raise ValueError("multi-eps reuse requires the global kernel")

@@ -212,17 +212,50 @@ class NeighborTable:
         """Load a table written by :meth:`save` (validated).
 
         Accepts both the typed-scalar layout and the legacy float64
-        ``meta`` array of earlier versions.
+        ``meta`` array of earlier versions.  A file missing a required
+        array (e.g. an annotated-flagged table whose ``distances`` never
+        made it to disk — an interrupted save) or failing structural
+        validation raises :class:`ValueError` naming the file and the
+        corrupt field, not a bare ``KeyError``/``AssertionError``.
         """
-        with np.load(Path(path)) as data:
+        path = Path(path)
+        with np.load(path) as data:
             if "n_points" in data:
+                meta_missing = [
+                    k for k in ("eps", "with_distances") if k not in data
+                ]
+                if meta_missing:
+                    raise ValueError(
+                        f"corrupt neighbor table {path}: missing metadata "
+                        f"field(s) {meta_missing}"
+                    )
                 n_points = int(data["n_points"])
                 eps = float(data["eps"])
                 with_d = bool(data["with_distances"])
-            else:  # legacy layout: one float64 [n_points, eps, with_d]
+            elif "meta" in data:  # legacy: one float64 [n_points, eps, with_d]
                 n_points_f, eps, with_d = data["meta"]
                 n_points = int(n_points_f)
                 with_d = bool(with_d)
+            else:
+                raise ValueError(
+                    f"corrupt neighbor table {path}: neither 'n_points' "
+                    f"nor legacy 'meta' metadata present"
+                )
+            required = ["t_min", "t_max", "values"]
+            if with_d:
+                required.append("distances")
+            missing = [k for k in required if k not in data]
+            if missing:
+                raise ValueError(
+                    f"corrupt neighbor table {path}: missing array(s) "
+                    f"{missing}"
+                    + (
+                        " (with_distances is set but the distance column "
+                        "was never written — interrupted save?)"
+                        if "distances" in missing
+                        else ""
+                    )
+                )
             table = cls(n_points, float(eps), with_distances=with_d)
             table.t_min = data["t_min"].astype(np.int64)
             table.t_max = data["t_max"].astype(np.int64)
@@ -230,7 +263,12 @@ class NeighborTable:
             table._cursor = len(table._values)
             if table.with_distances:
                 table._dist = data["distances"].astype(np.float64)
-        table.validate()
+        try:
+            table.validate()
+        except AssertionError as exc:
+            raise ValueError(
+                f"corrupt neighbor table {path}: {exc}"
+            ) from exc
         return table
 
     # ------------------------------------------------------------------

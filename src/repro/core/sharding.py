@@ -506,6 +506,7 @@ def run_shard(
     backend: str = "vector",
     block_dim: int = 256,
     faults: Optional[FaultInjector] = None,
+    cluster_on: Literal["host", "device"] = "host",
 ) -> ShardLocalResult:
     """Build one shard's table, cluster its interior, reduce, drop.
 
@@ -515,6 +516,14 @@ def run_shard(
     O(interior + boundary) arrays of :class:`ShardLocalResult`; the
     table itself is garbage once this function returns.
 
+    ``cluster_on="device"`` runs shard-local cluster formation (core
+    flags, component representatives, interior border attachment) with
+    the union-find label kernels on the shard's own bounded ``device``
+    instead of the host CSR pass — same ``ShardLocalResult`` arrays,
+    bit-identical merged labels.  Cross-shard candidate edges stay
+    host-computed either way (they are merge bookkeeping, not
+    clustering).
+
     ``faults`` is this shard's fault injector (if any): it is threaded
     into the table build, where the batching layer and the device hooks
     consult it — per-batch faults recover inside the build, wholesale
@@ -522,6 +531,8 @@ def run_shard(
     """
     if minpts < 1:
         raise ValueError("minpts must be >= 1")
+    if cluster_on not in ("host", "device"):
+        raise ValueError(f"unknown cluster_on {cluster_on!r}")
     stats = ShardStats(
         tx=shard.tx,
         ty=shard.ty,
@@ -561,32 +572,60 @@ def run_shard(
     local_core = counts >= minpts
     interior_core = local_core & is_interior
 
+    dres = None
+    if cluster_on == "device":
+        # shard-local labeling on the shard's own bounded device: the
+        # eligibility mask keeps halo points (clipped neighborhoods)
+        # out of core status, exactly like ``interior_core`` above
+        from repro.core.device_cluster import device_cluster_table
+
+        dres = device_cluster_table(
+            table,
+            minpts,
+            device=device,
+            backend=backend,
+            block_dim=block_dim,
+            eligible=is_interior,
+        )
+
     core_local = np.flatnonzero(interior_core)
     comp_edges = np.empty((0, 2), dtype=np.int64)
     cross_edges = np.empty((0, 2), dtype=np.int64)
     if len(core_local):
         src, dst = table.edges_for(core_local)
-        # (a) interior-core -> interior-core: the local component graph
-        cc = interior_core[dst]
-        csrc, cdst = src[cc], dst[cc]
-        lindex = np.full(n_local, -1, dtype=np.int64)
-        lindex[core_local] = np.arange(len(core_local))
-        g = sparse.csr_matrix(
-            (
-                np.ones(len(csrc), dtype=np.int8),
-                (lindex[csrc], lindex[cdst]),
-            ),
-            shape=(len(core_local), len(core_local)),
-        )
-        _, comp = csgraph.connected_components(g, directed=False)
-        # shard-local labels compress to one (member, representative)
-        # edge per interior core point; representative = lowest global id
         gids_core = ids[core_local]
-        rep = np.full(comp.max() + 1, np.iinfo(np.int64).max, dtype=np.int64)
-        np.minimum.at(rep, comp, gids_core)
-        comp_edges = np.column_stack([gids_core, rep[comp]])
+        if dres is not None:
+            # the converged union-find label of an interior core is the
+            # minimum *local* core id of its component; local ids are
+            # sorted global ids, so mapping through ``ids`` yields the
+            # exact lowest-global-id representative the host computes
+            comp_edges = np.column_stack(
+                [gids_core, ids[dres.raw_labels[core_local]]]
+            )
+        else:
+            # (a) interior-core -> interior-core: the local component graph
+            cc = interior_core[dst]
+            csrc, cdst = src[cc], dst[cc]
+            lindex = np.full(n_local, -1, dtype=np.int64)
+            lindex[core_local] = np.arange(len(core_local))
+            g = sparse.csr_matrix(
+                (
+                    np.ones(len(csrc), dtype=np.int8),
+                    (lindex[csrc], lindex[cdst]),
+                ),
+                shape=(len(core_local), len(core_local)),
+            )
+            _, comp = csgraph.connected_components(g, directed=False)
+            # shard-local labels compress to one (member, representative)
+            # edge per interior core point; representative = lowest global id
+            rep = np.full(
+                comp.max() + 1, np.iinfo(np.int64).max, dtype=np.int64
+            )
+            np.minimum.at(rep, comp, gids_core)
+            comp_edges = np.column_stack([gids_core, rep[comp]])
         # (b) interior-core -> halo: candidate core–core merge edges;
-        # the halo endpoint may or may not be globally core
+        # the halo endpoint may or may not be globally core (merge
+        # bookkeeping — host-computed on either cluster_on path)
         xc = ~is_interior[dst]
         cross_edges = np.column_stack([ids[src[xc]], ids[dst[xc]]])
 
@@ -595,11 +634,21 @@ def run_shard(
     border_halo_edges = np.empty((0, 2), dtype=np.int64)
     if len(border_local):
         bsrc, bdst = table.edges_for(border_local)
-        # exact candidates among interior neighbors (core status known)
-        bi = interior_core[bdst]
-        if bi.any():
-            u, v = _first_per_key(ids[bsrc[bi]], ids[bdst[bi]])
-            border_interior = np.column_stack([u, v])
+        if dres is not None:
+            # the BorderAttach kernel already found each interior border
+            # point's lowest-id (interior-)core neighbor
+            amask = dres.attach[border_local] >= 0
+            if amask.any():
+                bl = border_local[amask]
+                border_interior = np.column_stack(
+                    [ids[bl], ids[dres.attach[bl]]]
+                )
+        else:
+            # exact candidates among interior neighbors (core status known)
+            bi = interior_core[bdst]
+            if bi.any():
+                u, v = _first_per_key(ids[bsrc[bi]], ids[bdst[bi]])
+                border_interior = np.column_stack([u, v])
         # halo neighbors: core status resolved at merge
         bh = ~is_interior[bdst]
         border_halo_edges = np.column_stack([ids[bsrc[bh]], ids[bdst[bh]]])
@@ -800,6 +849,7 @@ def run_shard_supervised(
     backend: str = "vector",
     block_dim: int = 256,
     sanitize: Optional[bool] = None,
+    cluster_on: Literal["host", "device"] = "host",
     events: Optional[list[ShardAttempt]] = None,
 ) -> "ShardLocalResult | list[Shard]":
     """Supervised attempt loop for one shard — the recovery state machine.
@@ -836,6 +886,7 @@ def run_shard_supervised(
                 backend=backend,
                 block_dim=block_dim,
                 faults=injector,
+                cluster_on=cluster_on,
             )
         except Exception as exc:
             elapsed = time.perf_counter() - t0
@@ -1064,6 +1115,7 @@ def cluster_sharded(
     block_dim: int = 256,
     device_spec: Optional[DeviceSpec] = None,
     sanitize: Optional[bool] = None,
+    cluster_on: Literal["host", "device"] = "host",
 ) -> ShardedResult:
     """Out-of-core HYBRID-DBSCAN over ``kx × ky`` spatial shards.
 
@@ -1074,9 +1126,12 @@ def cluster_sharded(
     shard faults retry on fallback devices or quad-split the tile, and
     completed shards are never recomputed.  Shard wall times feed the
     hostsim multi-worker schedule; the merge runs on the host after all
-    shards.  Labels are bit-identical to
+    shards.  ``cluster_on="device"`` moves shard-local cluster
+    formation onto each shard's bounded device (the union-find label
+    kernels); the halo merge is unchanged.  Labels are bit-identical to
     ``HybridDBSCAN(...).fit(points, eps, minpts)`` with the components
-    implementation — with or without recovered faults.
+    implementation — with or without recovered faults, on either
+    ``cluster_on`` path.
     """
     cfg = config or ShardConfig()
     plan = plan_shards(points, eps, config=cfg)
@@ -1099,6 +1154,7 @@ def cluster_sharded(
             backend=backend,
             block_dim=block_dim,
             sanitize=sanitize,
+            cluster_on=cluster_on,
             events=events,
         )
         if isinstance(outcome, ShardLocalResult):

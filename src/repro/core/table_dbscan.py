@@ -15,11 +15,18 @@ with lookups into ``T``.  Two implementations are provided:
     and the S3 16-thread reuse scenario scale on a multicore host, the
     role OpenMP plays in the paper.
 
-Both produce identical core-point clusterings and noise sets; border
-points that are ε-reachable from several clusters may be assigned to
-either (an order-dependence present in original DBSCAN itself — see
-Ester et al. 1996).  Labels: ``-1`` is noise, clusters are ``0..k-1``,
-numbered by their lowest member point id for determinism.
+A third implementation lives in :mod:`repro.core.device_cluster`: the
+same clustering computed by union-find label kernels on the simulated
+device.
+
+All three produce *bit-identical* labels.  Original DBSCAN leaves border
+points that are ε-reachable from several clusters to visitation order
+(Ester et al. 1996); here every implementation resolves the tie the same
+way — a border point joins the cluster of its **lowest-id core
+neighbor** — so the outputs can be compared with ``np.array_equal``, no
+label-equivalence escape hatch needed.  Labels: ``-1`` is noise,
+clusters are ``0..k-1``, numbered by their lowest member point id for
+determinism.
 """
 
 from __future__ import annotations
@@ -44,7 +51,6 @@ __all__ = [
 ]
 
 NOISE = -1
-_UNVISITED = -2
 
 
 def core_mask(table: NeighborTable, minpts: int) -> np.ndarray:
@@ -82,30 +88,37 @@ def canonicalize_labels(labels: np.ndarray) -> np.ndarray:
 
 
 def dbscan_from_table_expand(table: NeighborTable, minpts: int) -> np.ndarray:
-    """Algorithm 1 with ``T`` lookups (sequential cluster expansion)."""
+    """Algorithm 1 with ``T`` lookups (sequential cluster expansion).
+
+    Cluster expansion walks core points breadth-first; border points are
+    attached in a separate pass to their lowest-id core neighbor — the
+    deterministic tie-break :func:`dbscan_from_table_components` (and
+    the device path) uses, rather than BFS discovery order, so all
+    implementations agree bit-for-bit.
+    """
     n = table.n_points
     is_core = core_mask(table, minpts)
-    labels = np.full(n, _UNVISITED, dtype=np.int64)
+    labels = np.full(n, NOISE, dtype=np.int64)
     cluster = 0
     for p in range(n):
-        if labels[p] != _UNVISITED:
-            continue
-        if not is_core[p]:
-            labels[p] = NOISE  # may be rewritten as border later
+        if not is_core[p] or labels[p] != NOISE:
             continue
         labels[p] = cluster
-        frontier = deque(table.neighbors(p).tolist())
+        frontier = deque([p])
         while frontier:
             q = frontier.popleft()
-            if labels[q] == NOISE:
-                labels[q] = cluster  # border point claimed by this cluster
-            if labels[q] != _UNVISITED:
-                continue
-            labels[q] = cluster
-            if is_core[q]:
-                frontier.extend(table.neighbors(q).tolist())
+            for r in table.neighbors(q).tolist():
+                if is_core[r] and labels[r] == NOISE:
+                    labels[r] = cluster
+                    frontier.append(r)
         cluster += 1
-    labels[labels == _UNVISITED] = NOISE  # pragma: no cover - defensive
+    # border attachment: lowest-id core neighbor, ties never depend on
+    # the expansion order above
+    for p in np.flatnonzero(~is_core):
+        nbrs = table.neighbors(p)
+        core_nbrs = nbrs[is_core[nbrs]]
+        if len(core_nbrs):
+            labels[p] = labels[core_nbrs.min()]
     return canonicalize_labels(labels)
 
 

@@ -8,18 +8,31 @@
   through shared memory with block barriers.
 * :class:`~repro.kernels.count_kernel.NeighborCountKernel` — the result
   set size estimator of Section VI (counts neighbors of an ``f``-sample).
+* :mod:`repro.kernels.cluster_kernels` — device-resident cluster
+  formation over ``T``: :class:`CoreFlagKernel` (core classification),
+  :class:`ClusterUnionFindKernel` (iterated hook+jump min-label
+  union-find), :class:`BorderAttachKernel` (border attachment to the
+  lowest-id core neighbor).
 
 Each kernel provides interpreter device code and a vectorized backend;
 they produce identical key/value result sets (property-tested).
 """
 
 from repro.gpusim.launch import Kernel
+from repro.kernels.cluster_kernels import (
+    BorderAttachKernel,
+    ClusterUnionFindKernel,
+    CoreFlagKernel,
+)
 from repro.kernels.count_kernel import NeighborCountKernel
 from repro.kernels.global_kernel import GPUCalcGlobal, batch_point_ids
 from repro.kernels.hybrid_select import HybridSelectKernel
 from repro.kernels.shared_kernel import GPUCalcShared
 
 __all__ = [
+    "BorderAttachKernel",
+    "ClusterUnionFindKernel",
+    "CoreFlagKernel",
     "GPUCalcGlobal",
     "GPUCalcShared",
     "HybridSelectKernel",
@@ -41,4 +54,7 @@ def shipped_kernels() -> list[Kernel]:
         GPUCalcGlobal(),
         GPUCalcShared(),
         HybridSelectKernel(),
+        CoreFlagKernel(),
+        ClusterUnionFindKernel(),
+        BorderAttachKernel(),
     ]

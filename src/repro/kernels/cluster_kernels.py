@@ -1,0 +1,343 @@
+"""Device-resident cluster formation over the neighbor table ``T``.
+
+The paper leaves Algorithm 1 DBSCAN on the host; once the table build is
+batched, sharded, and fault-hardened, that host pass is the last serial
+phase of the pipeline.  These kernels move it onto the (simulated)
+device as label-propagation union-find — the shape "Theoretically-
+Efficient and Practical Parallel DBSCAN" (Wang, Gu, Shun) and the ArborX
+GPU DBSCAN (Prokopenko et al.) use, and the same edge-based formulation
+``merge_shard_labels`` already applies on the host:
+
+* :class:`CoreFlagKernel` — one thread per point; classifies core points
+  from the ``T`` row lengths (``|N_ε(p)| >= minpts``) and initializes
+  each core's label to its own id (non-core to ``-1``).
+* :class:`ClusterUnionFindKernel` — one hook + jump round of min-label
+  propagation over core–core edges.  Each core thread takes the minimum
+  label over its core neighbors (hooking) followed by one pointer jump
+  (``labels[best]``), and bumps a device-side ``changed`` counter when
+  its label strictly decreases.  The host relaunches until ``changed``
+  settles at 0.
+* :class:`BorderAttachKernel` — attaches each border point to the label
+  of its lowest-id core neighbor (the deterministic rule
+  ``dbscan_from_table_components`` uses) and records that neighbor in an
+  ``attach`` output array.
+
+Determinism across backends: labels only ever *decrease*, are bounded
+below by the component's minimum core id, and that minimum's own label
+never changes — so the fixpoint is the per-component minimum core id for
+both the Jacobi-style vector backend and the sequential-per-block
+interpreter (Gauss–Seidel) backend, even though the two need different
+iteration counts.  Per-launch load counters are structure-only (row
+lengths) and match across backends; store/atomic counters depend on the
+propagation schedule and legitimately differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._nputil import expand_ranges
+from repro.gpusim.costmodel import KernelCounters
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel, LaunchConfig
+from repro.gpusim.memory import DeviceBuffer
+
+__all__ = ["BorderAttachKernel", "ClusterUnionFindKernel", "CoreFlagKernel"]
+
+
+def _dev(a):
+    """Unwrap a DeviceBuffer to its backing array (None passes through)."""
+    return a.data if isinstance(a, DeviceBuffer) else a
+
+
+class CoreFlagKernel(Kernel):
+    """Core classification + label init from the ``T`` row lengths.
+
+    ``core[p] = 1`` iff ``t_max[p] - t_min[p] + 1 >= minpts`` (and, when
+    an ``eligible`` mask is given, ``eligible[p]`` — the sharded path
+    restricts core status to interior points whose neighborhoods are
+    complete).  ``labels[p]`` becomes ``p`` for cores, ``-1`` otherwise.
+    """
+
+    name = "CoreFlag"
+
+    def device_code(
+        self,
+        ctx: KernelContext,
+        *,
+        t_min: np.ndarray,
+        t_max: np.ndarray,
+        minpts: int,
+        core: np.ndarray,
+        labels: np.ndarray,
+        eligible: np.ndarray | None = None,
+    ) -> None:
+        t_min = _dev(t_min)
+        t_max = _dev(t_max)
+        core = _dev(core)
+        labels = _dev(labels)
+        eligible = _dev(eligible)
+        pid = ctx.global_id
+        if pid >= len(t_min):
+            ctx.count_divergent()
+            return
+        lo = t_min[pid]
+        hi = t_max[pid]
+        ctx.count_global_load(2)
+        count = hi - lo + 1 if lo >= 0 else 0
+        is_core = count >= minpts
+        if eligible is not None:
+            ctx.count_global_load(1)
+            is_core = is_core and eligible[pid] != 0
+        core[pid] = 1 if is_core else 0
+        labels[pid] = pid if is_core else -1
+        ctx.count_global_store(2)
+
+    def vector_impl(
+        self,
+        config: LaunchConfig,
+        counters: KernelCounters,
+        *,
+        t_min,
+        t_max,
+        minpts: int,
+        core,
+        labels,
+        eligible=None,
+    ) -> int:
+        """Returns the number of core points."""
+        tmin = _dev(t_min)
+        tmax = _dev(t_max)
+        c = _dev(core)
+        lab = _dev(labels)
+        elig = _dev(eligible)
+        n = len(tmin)
+        counts = np.where(tmin >= 0, tmax - tmin + 1, 0)
+        is_core = counts >= minpts
+        loads = 2 * n
+        if elig is not None:
+            is_core &= elig != 0
+            loads += n
+        c[:] = is_core
+        lab[:] = np.where(is_core, np.arange(n, dtype=np.int64), -1)
+        counters.global_loads += loads
+        counters.global_stores += 2 * n
+        counters.divergent_threads += config.total_threads - n
+        return int(is_core.sum())
+
+    @staticmethod
+    def launch_config(n_points: int, *, block_dim: int = 256) -> LaunchConfig:
+        return LaunchConfig.for_elements(max(1, n_points), block_dim)
+
+
+class ClusterUnionFindKernel(Kernel):
+    """One hook + jump round of min-label union-find over core edges.
+
+    Each core thread scans its ``T`` row, takes the minimum label among
+    core neighbors (hooking — rows include the point itself), then does
+    one pointer jump through the best label found.  A strict decrease is
+    written back and counted into the device-side ``changed`` flag; the
+    host relaunches until a round leaves every label fixed.  Labels are
+    monotone non-increasing and bounded by the component's minimum core
+    id, whose own label is stationary — so both backends converge to the
+    same fixpoint regardless of intra-launch update order.
+    """
+
+    name = "ClusterUnionFind"
+
+    def device_code(
+        self,
+        ctx: KernelContext,
+        *,
+        t_min: np.ndarray,
+        t_max: np.ndarray,
+        B: np.ndarray,
+        core: np.ndarray,
+        labels: np.ndarray,
+        changed: DeviceBuffer,
+    ) -> None:
+        t_min = _dev(t_min)
+        t_max = _dev(t_max)
+        B = _dev(B)
+        core = _dev(core)
+        labels = _dev(labels)
+        pid = ctx.global_id
+        if pid >= len(core):
+            ctx.count_divergent()
+            return
+        ctx.count_global_load(1)
+        if core[pid] == 0:
+            ctx.count_divergent()
+            return
+        lo = t_min[pid]
+        hi = t_max[pid]
+        old = labels[pid]
+        ctx.count_global_load(3)
+        best = old
+        for a in range(lo, hi + 1):
+            j = B[a]
+            ctx.count_global_load(2)
+            if core[j] != 0:
+                m = labels[j]
+                ctx.count_global_load(1)
+                if m < best:
+                    best = m
+        # pointer jump: one hop through the best label's own label
+        m = labels[best]
+        ctx.count_global_load(1)
+        if m < best:
+            best = m
+        if best < old:
+            labels[pid] = best
+            ctx.count_global_store(1)
+            ctx.atomic_add(changed, 0, 1)
+
+    def vector_impl(
+        self,
+        config: LaunchConfig,
+        counters: KernelCounters,
+        *,
+        t_min,
+        t_max,
+        B,
+        core,
+        labels,
+        changed=None,
+    ) -> int:
+        """One Jacobi round over a label snapshot; returns changed count."""
+        tmin = _dev(t_min)
+        tmax = _dev(t_max)
+        b = _dev(B)
+        c = _dev(core)
+        lab = _dev(labels)
+        n = len(c)
+        core_ids = np.flatnonzero(c)
+        n_core = len(core_ids)
+        counters.divergent_threads += (config.total_threads - n) + (n - n_core)
+        counters.global_loads += n  # every in-range thread reads its flag
+        if n_core == 0:
+            return 0
+        snapshot = lab.copy()
+        src, flat = expand_ranges(core_ids, tmin[core_ids], tmax[core_ids])
+        dst = b[flat]
+        keep = c[dst] != 0
+        best = snapshot.copy()
+        np.minimum.at(best, src[keep], snapshot[dst[keep]])
+        # pointer jump through the hooked label
+        best[core_ids] = np.minimum(
+            best[core_ids], snapshot[best[core_ids]]
+        )
+        improved = core_ids[best[core_ids] < snapshot[core_ids]]
+        lab[improved] = best[improved]
+        n_changed = len(improved)
+        counters.global_loads += (
+            3 * n_core + 2 * len(flat) + int(keep.sum()) + n_core
+        )
+        counters.global_stores += n_changed
+        counters.atomics += n_changed
+        if changed is not None:
+            _dev(changed)[0] += n_changed
+        return n_changed
+
+    @staticmethod
+    def launch_config(n_points: int, *, block_dim: int = 256) -> LaunchConfig:
+        return LaunchConfig.for_elements(max(1, n_points), block_dim)
+
+
+class BorderAttachKernel(Kernel):
+    """Attach border points to their lowest-id core neighbor.
+
+    Each non-core thread scans its ``T`` row for the minimum core point
+    id, records it in ``attach`` (``-1`` when none — true noise), and
+    copies that core's label.  Core labels are never written here, so a
+    single launch suffices and the result is identical across backends.
+    """
+
+    name = "BorderAttach"
+
+    def device_code(
+        self,
+        ctx: KernelContext,
+        *,
+        t_min: np.ndarray,
+        t_max: np.ndarray,
+        B: np.ndarray,
+        core: np.ndarray,
+        labels: np.ndarray,
+        attach: np.ndarray,
+    ) -> None:
+        t_min = _dev(t_min)
+        t_max = _dev(t_max)
+        B = _dev(B)
+        core = _dev(core)
+        labels = _dev(labels)
+        attach = _dev(attach)
+        pid = ctx.global_id
+        if pid >= len(core):
+            ctx.count_divergent()
+            return
+        ctx.count_global_load(1)
+        if core[pid] != 0:
+            ctx.count_divergent()
+            return
+        lo = t_min[pid]
+        hi = t_max[pid]
+        ctx.count_global_load(2)
+        nearest = -1
+        if lo >= 0:
+            for a in range(lo, hi + 1):
+                j = B[a]
+                ctx.count_global_load(2)
+                if core[j] != 0 and (nearest < 0 or j < nearest):
+                    nearest = j
+        attach[pid] = nearest
+        ctx.count_global_store(1)
+        if nearest >= 0:
+            labels[pid] = labels[nearest]
+            ctx.count_global_load(1)
+            ctx.count_global_store(1)
+
+    def vector_impl(
+        self,
+        config: LaunchConfig,
+        counters: KernelCounters,
+        *,
+        t_min,
+        t_max,
+        B,
+        core,
+        labels,
+        attach,
+    ) -> int:
+        """Returns the number of attached border points."""
+        tmin = _dev(t_min)
+        tmax = _dev(t_max)
+        b = _dev(B)
+        c = _dev(core)
+        lab = _dev(labels)
+        att = _dev(attach)
+        n = len(c)
+        noncore = np.flatnonzero(c == 0)
+        counters.divergent_threads += (
+            (config.total_threads - n) + (n - len(noncore))
+        )
+        counters.global_loads += n + 2 * len(noncore)
+        valid = noncore[tmin[noncore] >= 0]
+        src, flat = expand_ranges(valid, tmin[valid], tmax[valid])
+        dst = b[flat]
+        keep = c[dst] != 0
+        sentinel = np.iinfo(np.int64).max
+        nearest = np.full(n, sentinel, dtype=np.int64)
+        np.minimum.at(nearest, src[keep], dst[keep])
+        att[noncore] = np.where(
+            nearest[noncore] == sentinel, -1, nearest[noncore]
+        )
+        attached = noncore[nearest[noncore] != sentinel]
+        lab[attached] = lab[nearest[attached]]
+        counters.global_loads += 2 * len(flat) + len(attached)
+        counters.global_stores += len(noncore) + len(attached)
+        return len(attached)
+
+    @staticmethod
+    def launch_config(n_points: int, *, block_dim: int = 256) -> LaunchConfig:
+        return LaunchConfig.for_elements(max(1, n_points), block_dim)

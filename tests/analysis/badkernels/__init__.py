@@ -7,7 +7,11 @@ kernelcheck fires the expected rule on each (and that no *other* rule
 fires, so the corpus doubles as a precision check).
 """
 
-from tests.analysis.badkernels.kc001 import BranchBarrierKernel, EarlyReturnKernel
+from tests.analysis.badkernels.kc001 import (
+    BranchBarrierKernel,
+    DivergentUnionFindKernel,
+    EarlyReturnKernel,
+)
 from tests.analysis.badkernels.kc002 import SharedRWRaceKernel, SharedWWRaceKernel
 from tests.analysis.badkernels.kc003 import NonAffineKernel, StridedKernel
 from tests.analysis.badkernels.kc004 import UndeclaredSharedKernel
@@ -16,6 +20,7 @@ from tests.analysis.badkernels.kc004 import UndeclaredSharedKernel
 BAD_KERNELS = [
     (BranchBarrierKernel(), "KC001"),
     (EarlyReturnKernel(), "KC001"),
+    (DivergentUnionFindKernel(), "KC001"),
     (SharedRWRaceKernel(), "KC002"),
     (SharedWWRaceKernel(), "KC002"),
     (StridedKernel(), "KC003"),
@@ -26,6 +31,7 @@ BAD_KERNELS = [
 __all__ = [
     "BAD_KERNELS",
     "BranchBarrierKernel",
+    "DivergentUnionFindKernel",
     "EarlyReturnKernel",
     "SharedRWRaceKernel",
     "SharedWWRaceKernel",

@@ -31,3 +31,23 @@ class EarlyReturnKernel(Kernel):
             return
         yield ctx.syncthreads()
         out[tid] = 1
+
+
+class DivergentUnionFindKernel(Kernel):
+    """A plausible-looking barrier-synchronized pointer-jumping
+    union-find whose converged threads bail out of the round loop early
+    — they skip the remaining per-round barriers while their neighbors
+    keep arriving, and the block hangs.  (The shipped
+    ``ClusterUnionFind`` avoids this by being barrier-free: rounds are
+    separate launches, convergence is a device-side flag the host
+    polls.)"""
+
+    name = "BadDivergentUnionFind"
+
+    def device_code(self, ctx: KernelContext, *, labels: np.ndarray) -> None:
+        tid = ctx.thread_idx
+        for _ in range(8):
+            if labels[tid] == tid:
+                return  # converged threads desert the round barrier
+            labels[tid] = labels[labels[tid]]
+            yield ctx.syncthreads()

@@ -168,6 +168,21 @@ class TestEpsSweep:
                 blobs_points, [0.2], 5, hybrid=HybridDBSCAN(kernel="shared")
             )
 
+    def test_sweep_validates_before_build(self, blobs_points):
+        """A bad minpts/n_threads must fail in microseconds — before the
+        expensive annotated table build, not inside it."""
+        from repro.core import cluster_eps_sweep
+
+        class NoBuild(HybridDBSCAN):
+            def build_table(self, *a, **k):  # pragma: no cover
+                raise AssertionError("build_table must not run")
+
+        h = NoBuild()
+        with pytest.raises(ValueError, match="minpts"):
+            cluster_eps_sweep(blobs_points, [0.2], 0, hybrid=h)
+        with pytest.raises(ValueError, match="n_threads"):
+            cluster_eps_sweep(blobs_points, [0.2], 5, n_threads=0, hybrid=h)
+
     def test_thread_makespan_monotone(self, blobs_points):
         from repro.core import cluster_eps_sweep
 

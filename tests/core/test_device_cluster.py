@@ -1,0 +1,256 @@
+"""Tests for device-resident cluster formation.
+
+The contract under test: the union-find label kernels produce labels
+**bit-identical** to the host components path — across random datasets,
+both table-build kernels, both simulated backends, arbitrary minpts, and
+the sharded out-of-core path — and do so sanitizer-clean with no leaked
+device buffers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NOISE,
+    HybridDBSCAN,
+    ShardConfig,
+    dbscan_from_table_components,
+    dbscan_from_table_device,
+    device_cluster_table,
+)
+from repro.core.batching import build_neighbor_table
+from repro.core.table_dbscan import core_mask, dbscan_from_table_expand
+from repro.gpusim import Device
+from repro.index import GridIndex
+
+
+def build_table(points, eps):
+    grid = GridIndex.build(points, eps)
+    table, _ = build_neighbor_table(grid, Device())
+    return grid, table
+
+
+def random_points(seed):
+    rng = np.random.default_rng(seed)
+    n_blobs = rng.integers(1, 4)
+    parts = [
+        rng.normal(rng.uniform(0, 10, 2), rng.uniform(0.1, 0.6), (40, 2))
+        for _ in range(n_blobs)
+    ]
+    parts.append(rng.random((30, 2)) * 10)
+    return np.vstack(parts)
+
+
+# ======================================================================
+# device labels ≡ host components labels (the tentpole invariant)
+# ======================================================================
+class TestDeviceEqualsHost:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(["global", "shared"]),
+        st.sampled_from([1, 2, 4, 6, 10]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_device_equals_components(self, seed, kernel, minpts):
+        """Across seeds × table kernels × minpts: bit-identical labels."""
+        pts = random_points(seed)
+        h = HybridDBSCAN(kernel=kernel)
+        _, table, _ = h.build_table(pts, 0.4)
+        host = dbscan_from_table_components(table, minpts)
+        dev = dbscan_from_table_device(table, minpts)
+        assert np.array_equal(host, dev)
+
+    def test_all_three_impls_agree(self, blobs_points):
+        _, table = build_table(blobs_points, 0.5)
+        for minpts in (2, 5, 16):
+            a = dbscan_from_table_expand(table, minpts)
+            b = dbscan_from_table_components(table, minpts)
+            c = dbscan_from_table_device(table, minpts)
+            assert np.array_equal(a, b)
+            assert np.array_equal(b, c)
+
+    def test_interpreter_backend_matches(self):
+        """The sequential-per-block interpreter converges to the same
+        fixpoint as the Jacobi vector backend (fewer rounds, same
+        labels)."""
+        pts = random_points(7)[:90]
+        _, table = build_table(pts, 0.4)
+        host = dbscan_from_table_components(table, 4)
+        for backend in ("vector", "interpreter"):
+            got = dbscan_from_table_device(table, 4, backend=backend)
+            assert np.array_equal(host, got)
+
+    def test_all_noise(self, rng):
+        pts = rng.random((50, 2)) * 100  # hyper-sparse
+        _, table = build_table(pts, 0.5)
+        labels = dbscan_from_table_device(table, 4)
+        assert (labels == NOISE).all()
+
+    def test_minpts_one_no_noise(self, uniform_points):
+        _, table = build_table(uniform_points, 0.2)
+        labels = dbscan_from_table_device(table, 1)
+        assert (labels != NOISE).all()
+        assert np.array_equal(labels, dbscan_from_table_components(table, 1))
+
+
+# ======================================================================
+# the DeviceClusterResult contract
+# ======================================================================
+class TestClusterResult:
+    def test_fields(self, blobs_points):
+        _, table = build_table(blobs_points, 0.5)
+        res = device_cluster_table(table, 5)
+        assert res.iterations >= 1
+        assert res.device_ms > 0
+        assert res.wall_s > 0
+        assert np.array_equal(res.core, core_mask(table, 5))
+        # raw labels: per component the minimum core id; canonical via
+        # renumbering only
+        assert np.array_equal(
+            res.labels, dbscan_from_table_components(table, 5)
+        )
+
+    def test_attach_semantics(self, blobs_points):
+        _, table = build_table(blobs_points, 0.5)
+        res = device_cluster_table(table, 5)
+        # cores never attach; attached borders carry their target's label
+        assert (res.attach[res.core] == -1).all()
+        attached = np.flatnonzero(res.attach >= 0)
+        for p in attached:
+            target = res.attach[p]
+            assert res.core[target]
+            assert res.raw_labels[p] == res.raw_labels[target]
+            # lowest-id core neighbor
+            nbrs = table.neighbors(p)
+            assert target == min(q for q in nbrs if res.core[q])
+        # unattached non-cores are noise
+        lonely = ~res.core & (res.attach == -1)
+        assert (res.raw_labels[lonely] == NOISE).all()
+
+    def test_eligible_mask_restricts_cores(self, uniform_points):
+        _, table = build_table(uniform_points, 0.3)
+        eligible = np.zeros(table.n_points, dtype=bool)
+        eligible[: table.n_points // 2] = True
+        res = device_cluster_table(table, 2, eligible=eligible)
+        assert not res.core[~eligible].any()
+        assert np.array_equal(res.core, core_mask(table, 2) & eligible)
+
+    def test_invalid_minpts(self, uniform_points):
+        _, table = build_table(uniform_points, 0.3)
+        with pytest.raises(ValueError):
+            device_cluster_table(table, 0)
+
+    def test_no_core_points_short_circuits(self, rng):
+        pts = rng.random((40, 2)) * 100
+        _, table = build_table(pts, 0.5)
+        res = device_cluster_table(table, 10)
+        assert res.iterations == 0
+        assert (res.attach == -1).all()
+        assert (res.labels == NOISE).all()
+
+
+# ======================================================================
+# HybridDBSCAN wiring
+# ======================================================================
+class TestHybridWiring:
+    def test_fit_device_equals_host(self, blobs_points):
+        ref = HybridDBSCAN().fit(blobs_points, 0.5, 5)
+        res = HybridDBSCAN(cluster_on="device").fit(blobs_points, 0.5, 5)
+        assert np.array_equal(ref.labels, res.labels)
+        assert res.timings.dbscan_s >= 0
+        # the cluster launches add to the modeled device time
+        assert res.timings.device_ms > ref.timings.device_ms
+
+    def test_cluster_table_where_override(self, blobs_points):
+        h = HybridDBSCAN()  # host default
+        grid, table, _ = h.build_table(blobs_points, 0.5)
+        on_host = h.cluster_table(grid, table, 5)
+        on_dev = h.cluster_table(grid, table, 5, where="device")
+        assert np.array_equal(on_host, on_dev)
+
+    def test_device_cluster_launches_recorded(self, blobs_points):
+        h = HybridDBSCAN(cluster_on="device")
+        h.fit(blobs_points, 0.5, 5)
+        names = {k.name for k in h.device.profiler.kernels}
+        assert {"CoreFlag", "ClusterUnionFind", "BorderAttach"} <= names
+
+    def test_unknown_cluster_on_rejected(self, blobs_points):
+        with pytest.raises(ValueError):
+            HybridDBSCAN(cluster_on="fpga")
+        h = HybridDBSCAN()
+        grid, table, _ = h.build_table(blobs_points, 0.5)
+        with pytest.raises(ValueError):
+            h.cluster_table(grid, table, 5, where="fpga")
+
+
+# ======================================================================
+# the sharded path (shard-local labeling on the shard's own device)
+# ======================================================================
+class TestShardedDevice:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([(1, 1), (2, 2), (3, 2)]),
+        st.sampled_from([2, 5]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_sharded_device_equals_fit(self, seed, grid, minpts):
+        pts = random_points(seed)
+        ref = HybridDBSCAN().fit(pts, 0.4, minpts).labels
+        res = HybridDBSCAN(cluster_on="device").fit_sharded(
+            pts,
+            0.4,
+            minpts,
+            shard_config=ShardConfig(shards_x=grid[0], shards_y=grid[1]),
+        )
+        assert np.array_equal(ref, res.labels)
+
+    def test_sharded_host_and_device_identical(self, blobs_points):
+        cfg = ShardConfig(shards_x=2, shards_y=2)
+        a = HybridDBSCAN(cluster_on="host").fit_sharded(
+            blobs_points, 0.5, 5, shard_config=cfg
+        )
+        b = HybridDBSCAN(cluster_on="device").fit_sharded(
+            blobs_points, 0.5, 5, shard_config=cfg
+        )
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_cluster_on_rejected(self, blobs_points):
+        from repro.core.sharding import cluster_sharded
+
+        with pytest.raises(ValueError):
+            cluster_sharded(blobs_points, 0.5, 5, cluster_on="fpga")
+
+
+# ======================================================================
+# sanitizer: the new kernels run clean and leak nothing
+# ======================================================================
+class TestSanitized:
+    def test_device_cluster_sanitizer_clean(self, blobs_points):
+        _, table = build_table(blobs_points, 0.5)
+        device = Device(sanitize=True)
+        res = device_cluster_table(table, 5, device=device)
+        assert np.array_equal(
+            res.labels, dbscan_from_table_components(table, 5)
+        )
+        report = device.close()  # leak check included
+        assert report is not None and report.clean, report.render()
+
+    def test_interpreter_sanitizer_clean(self, rng):
+        pts = rng.random((60, 2)) * 3
+        _, table = build_table(pts, 0.4)
+        device = Device(sanitize=True)
+        device_cluster_table(table, 3, device=device, backend="interpreter")
+        report = device.close()
+        assert report is not None and report.clean, report.render()
+
+    def test_sharded_device_sanitized(self, blobs_points):
+        res = HybridDBSCAN(cluster_on="device", sanitize=True).fit_sharded(
+            blobs_points,
+            0.5,
+            5,
+            shard_config=ShardConfig(shards_x=2, shards_y=1),
+        )
+        ref = HybridDBSCAN().fit(blobs_points, 0.5, 5)
+        assert np.array_equal(ref.labels, res.labels)

@@ -175,6 +175,64 @@ class TestPersistence:
         assert back.neighbors(2).tolist() == [2]
 
 
+class TestLoadCorruption:
+    """Corrupt/truncated ``.npz`` files must fail with a ValueError
+    naming the file and the corrupt field — not a bare KeyError from
+    the array dict or an AssertionError from ``validate``."""
+
+    def _annotated(self, tmp_path):
+        t = NeighborTable(3, eps=0.5, with_distances=True)
+        t.add_batch(
+            np.array([0, 0, 2]),
+            np.array([0, 1, 2]),
+            distances=np.array([0.0, 0.25, 0.1]),
+        )
+        return t.save(tmp_path / "t.npz")
+
+    def _resave_without(self, path, drop):
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != drop}
+        np.savez_compressed(path, **arrays)
+
+    def test_missing_distances_is_clear_valueerror(self, tmp_path):
+        """An annotated-flagged file whose distances column never hit
+        the disk (interrupted save) used to die with KeyError."""
+        path = self._annotated(tmp_path)
+        self._resave_without(path, "distances")
+        with pytest.raises(ValueError) as ei:
+            NeighborTable.load(path)
+        msg = str(ei.value)
+        assert "distances" in msg and "t.npz" in msg
+
+    @pytest.mark.parametrize("drop", ["t_min", "t_max", "values"])
+    def test_missing_core_array(self, tmp_path, drop):
+        path = self._annotated(tmp_path)
+        self._resave_without(path, drop)
+        with pytest.raises(ValueError, match=drop):
+            NeighborTable.load(path)
+
+    def test_missing_all_metadata(self, tmp_path):
+        path = self._annotated(tmp_path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in ("t_min", "t_max", "values")}
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="meta"):
+            NeighborTable.load(path)
+
+    def test_invalid_structure_wrapped(self, tmp_path):
+        """Structural validation failures surface as ValueError naming
+        the file, with the AssertionError chained as the cause."""
+        t = table_from_pairs(2, [(0, 0), (1, 1)])
+        path = t.save(tmp_path / "bad.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["values"] = np.array([99, 1])  # id out of range
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="bad.npz") as ei:
+            NeighborTable.load(path)
+        assert isinstance(ei.value.__cause__, AssertionError)
+
+
 class TestValidation:
     def test_validate_catches_gap(self):
         t = table_from_pairs(3, [(0, 0), (1, 1)])

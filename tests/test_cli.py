@@ -241,6 +241,9 @@ class TestAnalyze:
             "GPUCalcGlobal",
             "GPUCalcShared",
             "HybridSelect",
+            "CoreFlag",
+            "ClusterUnionFind",
+            "BorderAttach",
         }
         assert all(r["findings"] == [] for r in reports)
 
