@@ -22,7 +22,16 @@ import ast
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["CFG", "CFGNode", "Frame", "build_cfg", "is_barrier_stmt"]
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "Frame",
+    "Liveness",
+    "build_cfg",
+    "compute_liveness",
+    "is_barrier_stmt",
+    "node_defs_uses",
+]
 
 
 @dataclass(frozen=True)
@@ -241,3 +250,107 @@ class _Builder:
 def build_cfg(fn: ast.FunctionDef) -> CFG:
     """Build the statement-level CFG of one device-code function."""
     return _Builder().build(fn)
+
+
+# ======================================================================
+# def/use + liveness (feeds the KC006 register-pressure estimate)
+# ======================================================================
+def node_defs_uses(node: CFGNode) -> tuple[frozenset[str], frozenset[str]]:
+    """Names *defined* and *used* by one CFG node.
+
+    Only the node's own header is considered — a branch contributes its
+    test, a ``for`` head its target and iterable — never the nested
+    body, which has its own nodes.  ``buf[i] = x`` defines nothing
+    (``buf`` and ``i`` are uses); an augmented assignment both defines
+    and uses its target.
+    """
+    s = node.stmt
+    exprs: list[ast.expr] = []
+    aug_target: Optional[ast.expr] = None
+    if node.kind == "branch":
+        exprs = [node.test] if node.test is not None else []
+    elif node.kind == "loop":
+        if isinstance(s, ast.For):
+            exprs = [s.target, s.iter]
+        elif node.test is not None:
+            exprs = [node.test]
+    elif isinstance(s, ast.Assign):
+        exprs = [*s.targets, s.value]
+    elif isinstance(s, ast.AnnAssign):
+        exprs = [e for e in (s.target, s.value) if e is not None]
+    elif isinstance(s, ast.AugAssign):
+        exprs = [s.target, s.value]
+        aug_target = s.target
+    elif isinstance(s, ast.Expr):
+        exprs = [s.value]
+    elif isinstance(s, ast.Return):
+        exprs = [s.value] if s.value is not None else []
+    elif isinstance(s, ast.With):
+        exprs = [i.context_expr for i in s.items]
+        exprs += [i.optional_vars for i in s.items if i.optional_vars is not None]
+    defs: set[str] = set()
+    uses: set[str] = set()
+    for e in exprs:
+        for sub in ast.walk(e):
+            if isinstance(sub, ast.Name):
+                if isinstance(sub.ctx, ast.Store):
+                    defs.add(sub.id)
+                elif isinstance(sub.ctx, ast.Load):
+                    uses.add(sub.id)
+    if isinstance(aug_target, ast.Name):
+        uses.add(aug_target.id)
+    return frozenset(defs), frozenset(uses)
+
+
+@dataclass
+class Liveness:
+    """Per-node def/use sets and the live-variable fixpoint.
+
+    ``loop_carried`` holds names whose value survives a loop back edge
+    (live into the loop head along a back edge *and* redefined inside
+    that loop) — the values a compiler must keep resident across an
+    entire iteration rather than within one.
+    """
+
+    defs: dict[int, frozenset[str]]
+    uses: dict[int, frozenset[str]]
+    live_in: dict[int, frozenset[str]]
+    live_out: dict[int, frozenset[str]]
+    loop_carried: frozenset[str]
+
+
+def _in_loop(node: CFGNode, head_id: int) -> bool:
+    return any(fr.kind == "loop" and fr.node_id == head_id for fr in node.stack)
+
+
+def compute_liveness(cfg: CFG) -> Liveness:
+    """Backward live-variable dataflow over the statement CFG."""
+    defs: dict[int, frozenset[str]] = {}
+    uses: dict[int, frozenset[str]] = {}
+    for n in cfg.nodes:
+        defs[n.id], uses[n.id] = node_defs_uses(n)
+    empty: frozenset[str] = frozenset()
+    live_in = {n.id: empty for n in cfg.nodes}
+    live_out = {n.id: empty for n in cfg.nodes}
+    changed = True
+    while changed:
+        changed = False
+        for n in reversed(cfg.nodes):
+            out = empty.union(*(live_in[s] for s in n.succs)) if n.succs else empty
+            inn = uses[n.id] | (out - defs[n.id])
+            if out != live_out[n.id] or inn != live_in[n.id]:
+                live_out[n.id], live_in[n.id] = out, inn
+                changed = True
+
+    carried: set[str] = set()
+    for u in cfg.nodes:
+        for v_id in u.succs:
+            head = cfg.node(v_id)
+            # a succ edge into a loop head from inside its own body is
+            # the back edge (entry edges come from outside the frame)
+            if head.kind != "loop" or not _in_loop(u, v_id):
+                continue
+            inside = [w for w in cfg.nodes if w.id == v_id or _in_loop(w, v_id)]
+            defined_inside = empty.union(*(defs[w.id] for w in inside))
+            carried |= live_out[u.id] & live_in[v_id] & defined_inside
+    return Liveness(defs, uses, live_in, live_out, frozenset(carried))

@@ -4,7 +4,7 @@ The runtime gpusanitizer (:mod:`repro.gpusim.sanitizer`) can only judge
 schedules that actually execute; this module verifies the kernel
 invariants **over all paths, before any launch**, by analyzing the
 ``device_code`` generator of each :class:`~repro.gpusim.launch.Kernel`
-(AST → CFG via :mod:`repro.analysis.cfg` → dataflow).  Four passes:
+(AST → CFG via :mod:`repro.analysis.cfg` → dataflow).  Six passes:
 
 ``KC001`` — barrier divergence
     A ``yield ctx.syncthreads()`` that is control-dependent on a
@@ -28,17 +28,41 @@ invariants **over all paths, before any launch**, by analyzing the
     Global-buffer index expressions that are affine in the thread id
     with |stride| > 1, or non-affine pure functions of the thread id
     (``tid * tid``).  Runtime-dependent gathers (index loaded from
-    another array, symbolic strides) are out of static reach and left
-    to the counter-based cost model.
+    another array, symbolic strides) are no longer skipped: the
+    abstract interpreter (:mod:`repro.analysis.absint`) classifies each
+    access uniform / coalesced / strided / bounded-stride /
+    gather-bounded / gather-unbounded in the report's access table.
 
 ``KC004`` — static resources / occupancy
     Shared bytes are extracted from the ``ctx.shared`` shapes as a
     function of ``block_dim`` and cross-checked against the kernel's
     declared ``shared_mem_per_block``; the declared footprint plus the
-    register proxy feed :func:`repro.gpusim.occupancy.occupancy` to
+    register estimate feed :func:`repro.gpusim.occupancy.occupancy` to
     predict occupancy per ``(block_dim, DeviceSpec)`` — the exact
     computation :func:`repro.gpusim.launch.launch` performs, so the
     static table provably matches the simulator's achieved occupancy.
+
+``KC005`` — static bounds proofs
+    The abstract interpreter (interval × tid-affine product domain with
+    widening, :mod:`repro.analysis.absint`) attempts to prove every
+    global/shared array access in-bounds against the buffer-length and
+    value contracts each kernel declares via
+    :meth:`~repro.gpusim.launch.Kernel.value_invariants`.  A shared
+    access that can exceed its declared shape, or a contract-covered
+    global access whose index interval is not contained in
+    ``[0, len)``, is an error — caught before the runtime memcheck
+    ever launches.  Global accesses with no contract are reported as
+    *assumed*, never as findings.
+
+``KC006`` — register-pressure estimate
+    Backward liveness over the statement CFG
+    (:func:`repro.analysis.cfg.compute_liveness`) gives max-live-across-
+    program-points of the kernel's locals, with loop-carried values
+    weighted double (they stay resident across whole iterations).  The
+    estimate replaces the old locals+params count proxy and is checked
+    against the kernel's declared ``registers_per_thread``; declaring
+    fewer registers than the estimate is a warning because the
+    occupancy table would be optimistic.
 
 ``analyze_shipped()`` runs all passes over the registered kernel set
 (:func:`repro.kernels.shipped_kernels`); the CLI front end is
@@ -57,7 +81,13 @@ from typing import Iterable, Optional, Sequence, TypeGuard
 
 import numpy as np
 
-from repro.analysis.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.absint import (
+    AccessRecord,
+    ContractError,
+    KernelInvariants,
+    interpret_kernel,
+)
+from repro.analysis.cfg import CFG, CFGNode, build_cfg, compute_liveness
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import Kernel
 from repro.gpusim.occupancy import OccupancyLimits, occupancy
@@ -176,6 +206,10 @@ class KernelReport:
     declared_shared_bytes: dict[int, int]
     occupancy: list[OccupancyEntry]
     findings: list[Finding] = field(default_factory=list)
+    #: KC006 weighted max-live register estimate (None = no device code)
+    register_estimate: Optional[int] = None
+    #: KC005/KC003 per-access table (AccessRecord dicts)
+    accesses: list[dict] = field(default_factory=list)
 
     @property
     def errors(self) -> list[Finding]:
@@ -201,6 +235,8 @@ class KernelReport:
             },
             "occupancy": [e.as_dict() for e in self.occupancy],
             "findings": [f.as_dict() for f in self.findings],
+            "register_estimate": self.register_estimate,
+            "accesses": self.accesses,
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -893,6 +929,104 @@ def _pass_kc003(df: _DeviceFn, kernel_name: str) -> list[Finding]:
 
 
 # ======================================================================
+# KC005: abstract-interpretation bounds proofs
+# ======================================================================
+def _pass_kc005(
+    df: _DeviceFn,
+    kernel_name: str,
+    invariants: Optional[KernelInvariants],
+) -> tuple[list[Finding], list[AccessRecord]]:
+    """Run the abstract interpreter; unproved accesses become findings.
+
+    Shared-buffer accesses are always checked against their declared
+    shapes.  Global accesses are only *provable* when the kernel ships a
+    ``value_invariants()`` contract; without one they are recorded as
+    ``assumed`` and never fire.
+    """
+    try:
+        result = interpret_kernel(df.fn, invariants, df.cfg)
+    except ContractError as exc:
+        return (
+            [
+                Finding(
+                    "KC005",
+                    "error",
+                    kernel_name,
+                    0,
+                    f"unusable value_invariants() contract: {exc}",
+                )
+            ],
+            [],
+        )
+    findings = [
+        Finding(
+            "KC005",
+            "error",
+            kernel_name,
+            a.line,
+            f"cannot prove {'store to' if a.write else 'load from'} "
+            f"{'shared' if a.shared else 'global'} buffer "
+            f"'{a.buffer}[{a.index}]' in bounds: {a.detail} "
+            f"(index interval {a.interval})",
+        )
+        for a in result.unproved()
+    ]
+    return findings, result.accesses
+
+
+# ======================================================================
+# KC006: liveness-based register estimate
+# ======================================================================
+def _register_estimate(df: _DeviceFn) -> int:
+    """Weighted max-live register estimate over the statement CFG.
+
+    Counts only kernel *locals* — launch parameters live in constant
+    memory, ``ctx`` is the machine, and shared-buffer handles are
+    addresses into shared storage, none of which occupy a per-thread
+    register.  Loop-carried values (live across a back edge and
+    redefined in the loop) weigh double: they must stay resident across
+    a whole iteration, exactly the values a real compiler cannot
+    rematerialize.  The +4 matches the old proxy's fixed overhead
+    (address/predicate scratch).
+    """
+    lv = compute_liveness(df.cfg)
+    locals_: set[str] = set()
+    for d in lv.defs.values():
+        locals_ |= d
+    locals_ -= set(df.params)
+    locals_ -= set(df.shared)
+    locals_.discard(df.ctx_name)
+    locals_.discard("self")
+    best = 0
+    for n in df.cfg.nodes:
+        live = (lv.live_in[n.id] | lv.defs[n.id]) & locals_
+        best = max(
+            best, sum(2 if v in lv.loop_carried else 1 for v in live)
+        )
+    return 4 + best
+
+
+def _pass_kc006(
+    df: _DeviceFn, kernel_name: str, declared_registers: int
+) -> tuple[list[Finding], int]:
+    estimate = _register_estimate(df)
+    findings: list[Finding] = []
+    if estimate > declared_registers:
+        findings.append(
+            Finding(
+                "KC006",
+                "warn",
+                kernel_name,
+                df.fn.body[0].lineno if df.fn.body else 0,
+                f"live-range register estimate {estimate} exceeds the "
+                f"declared registers_per_thread={declared_registers}; "
+                f"the occupancy table is optimistic",
+            )
+        )
+    return findings, estimate
+
+
+# ======================================================================
 # KC004: static shared bytes + occupancy
 # ======================================================================
 def _eval_static_int(
@@ -1034,6 +1168,8 @@ def analyze_kernel(
     shared_decls: list[SharedDecl] = []
     barriers = 0
     proxy: Optional[int] = None
+    estimate: Optional[int] = None
+    accesses: list[AccessRecord] = []
 
     if df is not None:
         barriers = len(df.cfg.barriers())
@@ -1042,6 +1178,10 @@ def analyze_kernel(
         findings += _pass_kc001(df, kernel.name)
         findings += _pass_kc002(df, kernel.name)
         findings += _pass_kc003(df, kernel.name)
+        kc5, accesses = _pass_kc005(df, kernel.name, kernel.value_invariants())
+        findings += kc5
+        kc6, estimate = _pass_kc006(df, kernel.name, kernel.registers_per_thread)
+        findings += kc6
         for bd in block_dims:
             extracted = _static_shared_bytes(df, bd)
             static[bd] = extracted
@@ -1079,24 +1219,39 @@ def analyze_kernel(
         declared_shared_bytes=declared,
         occupancy=entries,
         findings=findings,
+        register_estimate=estimate,
+        accesses=[a.to_dict() for a in accesses],
     )
 
 
-def analyze_device_source(source: str, kernel_name: str = "<source>") -> list[Finding]:
-    """Run the device-code passes (KC001–KC003) over raw source.
+def analyze_device_source(
+    source: str,
+    kernel_name: str = "<source>",
+    *,
+    invariants: Optional[KernelInvariants] = None,
+    declared_registers: Optional[int] = None,
+) -> list[Finding]:
+    """Run the device-code passes (KC001–KC003, KC005, KC006) over raw
+    source.
 
     The source must contain one function definition (the device code).
-    Used by the seeded-violation corpus and the no-false-positive
-    property tests.
+    ``invariants`` feeds KC005's bounds proofs; KC006 only fires when a
+    ``declared_registers`` budget is given to check the estimate
+    against.  Used by the seeded-violation corpus and the
+    no-false-positive property tests.
     """
     module = ast.parse(textwrap.dedent(source))
     fn = next(n for n in module.body if isinstance(n, ast.FunctionDef))
     df = _DeviceFn(fn)
-    return (
+    findings = (
         _pass_kc001(df, kernel_name)
         + _pass_kc002(df, kernel_name)
         + _pass_kc003(df, kernel_name)
+        + _pass_kc005(df, kernel_name, invariants)[0]
     )
+    if declared_registers is not None:
+        findings += _pass_kc006(df, kernel_name, declared_registers)[0]
+    return findings
 
 
 def analyze_shipped(
@@ -1183,6 +1338,13 @@ def render_text(reports: Sequence[KernelReport]) -> str:
             f"{r.barriers} barrier(s), "
             f"{len(r.shared_decls)} shared buffer(s); occupancy {occ_bits}"
         )
+        if r.has_device_code:
+            proved = sum(1 for a in r.accesses if a["status"] == "proved")
+            lines.append(
+                f"  accesses: {proved}/{len(r.accesses)} proved in bounds; "
+                f"registers: estimate {r.register_estimate} "
+                f"(declared {r.registers_per_thread})"
+            )
         for f in r.findings:
             lines.append(f"  {f.render()}")
         if not r.findings:

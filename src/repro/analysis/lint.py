@@ -35,6 +35,16 @@ keep the simulation honest.  Three rules:
     bit-reproducible runs, so every random stream must be an explicit
     seeded ``Generator`` / ``SeedSequence``.
 
+``GS005`` — device code stays on the device
+    ``device_code`` bodies run per-thread under the SIMT interpreter
+    and are the subject of the kernelcheck static passes; a call to a
+    host-only API (``print``, ``open``, ``np.argsort``, ...) inside one
+    would be invisible to the cost model and unanalyzable statically.
+    Only ``ctx.<method>`` calls, ``math.*`` intrinsics, the arithmetic
+    builtins (``int``, ``float``, ``min``, ``max``, ``abs``, ``round``,
+    ``len``, ``range``, ``bool``, ``enumerate``), and the
+    ``kernelapi.device_array`` unwrap helper are allowed.
+
 Run as ``python -m repro.analysis.lint [paths...] [--format
 text|json|github]`` (exit code 1 on findings); file discovery skips
 ``__pycache__`` and ``*.egg-info`` artifacts.  CI runs it next to the
@@ -87,6 +97,23 @@ _LOCK_CONSTRUCTORS = {
     "BoundedSemaphore",
     "Condition",
 }
+
+#: builtins device code may call (GS005) — arithmetic/iteration only
+_DEVICE_BUILTINS = {
+    "int",
+    "float",
+    "min",
+    "max",
+    "abs",
+    "round",
+    "len",
+    "range",
+    "bool",
+    "enumerate",
+}
+
+#: non-ctx callables from the kernel API whitelisted for GS005
+_DEVICE_HELPERS = {"device_array"}
 
 #: the only ``np.random`` attributes host code may call (GS004) — the
 #: explicitly seedable Generator/BitGenerator construction API
@@ -210,6 +237,7 @@ class _Linter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._note_args(node)
+        self._check_gs005(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
@@ -288,6 +316,55 @@ class _Linter(ast.NodeVisitor):
             return True
         low = name.lower()
         return any(frag in low for frag in _LOCKISH)
+
+    # -- GS005 ----------------------------------------------------------
+    def _check_gs005(self, node: ast.FunctionDef) -> None:
+        """Flag host-only API calls inside ``device_code`` bodies."""
+        if node.name != "device_code":
+            return
+        args = node.args
+        positional = [a.arg for a in (*args.posonlyargs, *args.args)]
+        kw_names = [a.arg for a in args.kwonlyargs]
+        if "ctx" in positional + kw_names:
+            ctx_name = "ctx"
+        else:
+            non_self = [a for a in positional if a != "self"]
+            ctx_name = non_self[0] if non_self else "ctx"
+        # `raise NotImplementedError(...)` interface stubs are host-side
+        # by construction, not device work
+        raised = {
+            id(s.exc)
+            for body_stmt in node.body
+            for s in ast.walk(body_stmt)
+            if isinstance(s, ast.Raise) and s.exc is not None
+        }
+        for body_stmt in node.body:
+            for sub in ast.walk(body_stmt):
+                if not isinstance(sub, ast.Call) or id(sub) in raised:
+                    continue
+                fn = sub.func
+                if isinstance(fn, ast.Attribute):
+                    base = fn.value
+                    if isinstance(base, ast.Name) and base.id in (
+                        ctx_name,
+                        "math",
+                    ):
+                        continue  # ctx.<method> / math intrinsic
+                    called = ast.unparse(fn)
+                elif isinstance(fn, ast.Name):
+                    if fn.id in _DEVICE_BUILTINS or fn.id in _DEVICE_HELPERS:
+                        continue
+                    called = fn.id
+                else:
+                    called = ast.unparse(fn)
+                self._finding(
+                    "GS005",
+                    sub,
+                    f"device code calls host-only API '{called}(...)'; "
+                    f"per-thread code may only use {ctx_name}.<method>, "
+                    f"math intrinsics, arithmetic builtins, and "
+                    f"kernelapi.device_array",
+                )
 
     # -- GS004 ----------------------------------------------------------
     def _check_gs004(self, node: ast.Call) -> None:

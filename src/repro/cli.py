@@ -15,7 +15,8 @@ Commands
     Describe a dataset (size, extent, density profile).
 ``analyze kernels``
     kernelcheck: static verification of the registered device kernels
-    (barrier divergence, shared-memory races, coalescing, occupancy).
+    (barrier divergence, shared-memory races, coalescing, occupancy,
+    abstract-interpretation bounds proofs, register estimates).
 
 Point inputs are either a path to a ``.npy``/``.csv`` file with x, y in
 the first two columns, or one of the paper's dataset names
@@ -210,8 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
     ak = asub.add_parser(
         "kernels",
         help="kernelcheck: KC001 barrier divergence, KC002 shared-memory "
-             "races, KC003 coalescing, KC004 static occupancy over every "
-             "registered kernel",
+             "races, KC003 coalescing (gathers classified by abstract "
+             "interpretation), KC004 static occupancy, KC005 bounds proofs "
+             "against each kernel's value_invariants() contract, KC006 "
+             "live-range register estimates — over every registered kernel",
     )
     ak.add_argument("--format", choices=["text", "json"], default="text")
     ak.add_argument(

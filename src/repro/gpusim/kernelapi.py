@@ -34,7 +34,13 @@ from repro.gpusim.costmodel import KernelCounters
 from repro.gpusim.memory import DeviceBuffer, ResultBuffer
 from repro.gpusim.sanitizer import SynccheckError
 
-__all__ = ["Barrier", "BarrierDivergenceError", "BlockState", "KernelContext"]
+__all__ = [
+    "Barrier",
+    "BarrierDivergenceError",
+    "BlockState",
+    "KernelContext",
+    "device_array",
+]
 
 
 class BarrierDivergenceError(SynccheckError):
@@ -63,6 +69,18 @@ class BlockState:
 
 
 def _as_array(buf: Union[DeviceBuffer, np.ndarray]) -> np.ndarray:
+    return buf.data if isinstance(buf, DeviceBuffer) else buf
+
+
+def device_array(buf):
+    """Unwrap a :class:`DeviceBuffer` to its backing array.
+
+    ``None`` and plain arrays pass through.  This is the one whitelisted
+    way for ``device_code`` to accept either a ``DeviceBuffer`` or a raw
+    ndarray argument: the static analyses (gpulint GS005, kernelcheck
+    KC005) treat it as the identity on the underlying buffer, so the
+    array keeps its provenance through the unwrap.
+    """
     return buf.data if isinstance(buf, DeviceBuffer) else buf
 
 

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Literal, Optional
+from typing import TYPE_CHECKING, Any, Literal, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.absint import KernelInvariants
 
 from repro.gpusim.costmodel import KernelCounters
 from repro.gpusim.device import Device
@@ -75,6 +78,20 @@ class Kernel:
     def shared_mem_per_block(self, block_dim: int) -> int:
         """Static shared-memory footprint in bytes (0 = none)."""
         return 0
+
+    def value_invariants(self) -> "Optional[KernelInvariants]":
+        """Value contract for the static bounds checker (KC005).
+
+        Subclasses with device code return a
+        :class:`~repro.analysis.absint.KernelInvariants` declaring
+        buffer lengths, scalar-parameter ranges, element ranges of
+        index-carrying arrays, and row-pair orderings (e.g.
+        ``t_min[i] <= t_max[i] < len(B)``) so the abstract interpreter
+        can prove every access in-bounds before any launch.  ``None``
+        means "no contract": global accesses are reported as *assumed*
+        rather than proved.
+        """
+        return None
 
     def device_code(self, ctx, **kwargs):  # pragma: no cover - interface
         """Per-thread device code (generator function)."""

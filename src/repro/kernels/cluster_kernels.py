@@ -34,20 +34,20 @@ propagation schedule and legitimately differ.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro._nputil import expand_ranges
 from repro.gpusim.costmodel import KernelCounters
-from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.kernelapi import KernelContext, device_array
 from repro.gpusim.launch import Kernel, LaunchConfig
 from repro.gpusim.memory import DeviceBuffer
 
 __all__ = ["BorderAttachKernel", "ClusterUnionFindKernel", "CoreFlagKernel"]
 
-
-def _dev(a):
-    """Unwrap a DeviceBuffer to its backing array (None passes through)."""
-    return a.data if isinstance(a, DeviceBuffer) else a
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.absint import KernelInvariants
 
 
 class CoreFlagKernel(Kernel):
@@ -60,6 +60,22 @@ class CoreFlagKernel(Kernel):
     """
 
     name = "CoreFlag"
+    #: KC006 live-range estimate (repro analyze kernels)
+    registers_per_thread = 8
+
+    def value_invariants(self) -> "KernelInvariants":
+        from repro.analysis.absint import KernelInvariants
+
+        return KernelInvariants(
+            lengths={
+                "t_min": "n",
+                "t_max": "n",
+                "core": "n",
+                "labels": "n",
+                "eligible": "n",
+            },
+            scalars={"n": (1, None), "minpts": (1, None)},
+        )
 
     def device_code(
         self,
@@ -72,11 +88,11 @@ class CoreFlagKernel(Kernel):
         labels: np.ndarray,
         eligible: np.ndarray | None = None,
     ) -> None:
-        t_min = _dev(t_min)
-        t_max = _dev(t_max)
-        core = _dev(core)
-        labels = _dev(labels)
-        eligible = _dev(eligible)
+        t_min = device_array(t_min)
+        t_max = device_array(t_max)
+        core = device_array(core)
+        labels = device_array(labels)
+        eligible = device_array(eligible)
         pid = ctx.global_id
         if pid >= len(t_min):
             ctx.count_divergent()
@@ -98,19 +114,19 @@ class CoreFlagKernel(Kernel):
         config: LaunchConfig,
         counters: KernelCounters,
         *,
-        t_min,
-        t_max,
+        t_min: np.ndarray | DeviceBuffer,
+        t_max: np.ndarray | DeviceBuffer,
         minpts: int,
-        core,
-        labels,
-        eligible=None,
+        core: np.ndarray | DeviceBuffer,
+        labels: np.ndarray | DeviceBuffer,
+        eligible: np.ndarray | DeviceBuffer | None = None,
     ) -> int:
         """Returns the number of core points."""
-        tmin = _dev(t_min)
-        tmax = _dev(t_max)
-        c = _dev(core)
-        lab = _dev(labels)
-        elig = _dev(eligible)
+        tmin = device_array(t_min)
+        tmax = device_array(t_max)
+        c = device_array(core)
+        lab = device_array(labels)
+        elig = device_array(eligible)
         n = len(tmin)
         counts = np.where(tmin >= 0, tmax - tmin + 1, 0)
         is_core = counts >= minpts
@@ -144,6 +160,26 @@ class ClusterUnionFindKernel(Kernel):
     """
 
     name = "ClusterUnionFind"
+    #: KC006 live-range estimate (repro analyze kernels)
+    registers_per_thread = 12
+
+    def value_invariants(self) -> "KernelInvariants":
+        from repro.analysis.absint import KernelInvariants, RowRange
+
+        return KernelInvariants(
+            lengths={
+                "t_min": "n",
+                "t_max": "n",
+                "core": "n",
+                "labels": "n",
+                "B": "m",
+                "changed": "1",
+            },
+            scalars={"n": (1, None), "m": (1, None)},
+            elements={"B": (0, "n-1"), "labels": (0, "n-1")},
+            # core rows are non-empty (a core point neighbors itself)
+            rows=(RowRange("t_min", "t_max", "B", empty=False),),
+        )
 
     def device_code(
         self,
@@ -156,11 +192,11 @@ class ClusterUnionFindKernel(Kernel):
         labels: np.ndarray,
         changed: DeviceBuffer,
     ) -> None:
-        t_min = _dev(t_min)
-        t_max = _dev(t_max)
-        B = _dev(B)
-        core = _dev(core)
-        labels = _dev(labels)
+        t_min = device_array(t_min)
+        t_max = device_array(t_max)
+        B = device_array(B)
+        core = device_array(core)
+        labels = device_array(labels)
         pid = ctx.global_id
         if pid >= len(core):
             ctx.count_divergent()
@@ -197,19 +233,19 @@ class ClusterUnionFindKernel(Kernel):
         config: LaunchConfig,
         counters: KernelCounters,
         *,
-        t_min,
-        t_max,
-        B,
-        core,
-        labels,
-        changed=None,
+        t_min: np.ndarray | DeviceBuffer,
+        t_max: np.ndarray | DeviceBuffer,
+        B: np.ndarray | DeviceBuffer,
+        core: np.ndarray | DeviceBuffer,
+        labels: np.ndarray | DeviceBuffer,
+        changed: np.ndarray | DeviceBuffer | None = None,
     ) -> int:
         """One Jacobi round over a label snapshot; returns changed count."""
-        tmin = _dev(t_min)
-        tmax = _dev(t_max)
-        b = _dev(B)
-        c = _dev(core)
-        lab = _dev(labels)
+        tmin = device_array(t_min)
+        tmax = device_array(t_max)
+        b = device_array(B)
+        c = device_array(core)
+        lab = device_array(labels)
         n = len(c)
         core_ids = np.flatnonzero(c)
         n_core = len(core_ids)
@@ -236,7 +272,7 @@ class ClusterUnionFindKernel(Kernel):
         counters.global_stores += n_changed
         counters.atomics += n_changed
         if changed is not None:
-            _dev(changed)[0] += n_changed
+            device_array(changed)[0] += n_changed
         return n_changed
 
     @staticmethod
@@ -254,6 +290,25 @@ class BorderAttachKernel(Kernel):
     """
 
     name = "BorderAttach"
+    #: KC006 live-range estimate (repro analyze kernels)
+    registers_per_thread = 11
+
+    def value_invariants(self) -> "KernelInvariants":
+        from repro.analysis.absint import KernelInvariants, RowRange
+
+        return KernelInvariants(
+            lengths={
+                "t_min": "n",
+                "t_max": "n",
+                "core": "n",
+                "labels": "n",
+                "attach": "n",
+                "B": "m",
+            },
+            scalars={"n": (1, None), "m": (1, None)},
+            elements={"B": (0, "n-1"), "labels": (0, "n-1")},
+            rows=(RowRange("t_min", "t_max", "B"),),
+        )
 
     def device_code(
         self,
@@ -266,12 +321,12 @@ class BorderAttachKernel(Kernel):
         labels: np.ndarray,
         attach: np.ndarray,
     ) -> None:
-        t_min = _dev(t_min)
-        t_max = _dev(t_max)
-        B = _dev(B)
-        core = _dev(core)
-        labels = _dev(labels)
-        attach = _dev(attach)
+        t_min = device_array(t_min)
+        t_max = device_array(t_max)
+        B = device_array(B)
+        core = device_array(core)
+        labels = device_array(labels)
+        attach = device_array(attach)
         pid = ctx.global_id
         if pid >= len(core):
             ctx.count_divergent()
@@ -302,20 +357,20 @@ class BorderAttachKernel(Kernel):
         config: LaunchConfig,
         counters: KernelCounters,
         *,
-        t_min,
-        t_max,
-        B,
-        core,
-        labels,
-        attach,
+        t_min: np.ndarray | DeviceBuffer,
+        t_max: np.ndarray | DeviceBuffer,
+        B: np.ndarray | DeviceBuffer,
+        core: np.ndarray | DeviceBuffer,
+        labels: np.ndarray | DeviceBuffer,
+        attach: np.ndarray | DeviceBuffer,
     ) -> int:
         """Returns the number of attached border points."""
-        tmin = _dev(t_min)
-        tmax = _dev(t_max)
-        b = _dev(B)
-        c = _dev(core)
-        lab = _dev(labels)
-        att = _dev(attach)
+        tmin = device_array(t_min)
+        tmax = device_array(t_max)
+        b = device_array(B)
+        c = device_array(core)
+        lab = device_array(labels)
+        att = device_array(attach)
         n = len(c)
         noncore = np.flatnonzero(c == 0)
         counters.divergent_threads += (

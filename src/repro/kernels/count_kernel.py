@@ -13,6 +13,8 @@ strided batch assignment exploits.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro._nputil import expand_ranges
@@ -23,6 +25,9 @@ from repro.gpusim.memory import DeviceBuffer
 from repro.index.grid import GridIndex
 
 __all__ = ["NeighborCountKernel", "sample_point_ids"]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.absint import KernelInvariants
 
 
 def sample_point_ids(n_points: int, fraction: float) -> np.ndarray:
@@ -49,6 +54,30 @@ class NeighborCountKernel(Kernel):
     """Counts ε-neighbors of a sample; returns ``e_b``."""
 
     name = "NeighborCount"
+    #: KC006 live-range estimate (repro analyze kernels)
+    registers_per_thread = 17
+
+    def value_invariants(self) -> "KernelInvariants":
+        from repro.analysis.absint import KernelInvariants, RowRange
+
+        return KernelInvariants(
+            lengths={
+                "D": "n",
+                "A": "n",
+                "G_min": "nx*ny",
+                "G_max": "nx*ny",
+                "sample_ids": "n_sample",
+                "counter": "1",
+            },
+            scalars={
+                "n": (1, None),
+                "nx": (1, None),
+                "ny": (1, None),
+                "n_sample": (1, "n"),
+            },
+            elements={"A": (0, "n-1"), "sample_ids": (0, "n-1")},
+            rows=(RowRange("G_min", "G_max", "A"),),
+        )
 
     def device_code(
         self,

@@ -13,7 +13,7 @@ uniformly in space, keeping per-batch result sizes nearly equal.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.gpusim.memory import ResultBuffer
 from repro.index.grid import GridIndex
 
 __all__ = ["GPUCalcGlobal", "batch_point_ids"]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.absint import KernelInvariants
 
 
 def batch_point_ids(
@@ -56,6 +59,30 @@ class GPUCalcGlobal(Kernel):
     """Algorithm 2: per-point ε-neighborhood via global memory."""
 
     name = "GPUCalcGlobal"
+    #: KC006 live-range estimate (repro analyze kernels)
+    registers_per_thread = 17
+
+    def value_invariants(self) -> "KernelInvariants":
+        from repro.analysis.absint import KernelInvariants, RowRange
+
+        return KernelInvariants(
+            lengths={
+                "D": "n",
+                "A": "n",
+                "G_min": "nx*ny",
+                "G_max": "nx*ny",
+                "point_mask": "n",
+            },
+            scalars={
+                "n": (1, None),
+                "nx": (1, None),
+                "ny": (1, None),
+                "n_batches": (1, None),
+                "batch": (0, "n_batches-1"),
+            },
+            elements={"A": (0, "n-1")},
+            rows=(RowRange("G_min", "G_max", "A"),),
+        )
 
     # ------------------------------------------------------------------
     # interpreter device code (barrier-free → plain function)

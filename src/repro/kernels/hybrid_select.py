@@ -26,6 +26,7 @@ import numpy as np
 
 from repro._nputil import expand_ranges
 from repro.gpusim.costmodel import KernelCounters
+from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import Kernel, LaunchConfig
 from repro.gpusim.memory import ResultBuffer
 from repro.index.grid import GridIndex
@@ -66,7 +67,7 @@ class HybridSelectKernel(Kernel):
         dense_threshold: int | None = None,
         *,
         occupancy_hint: dict[int, bool] | None = None,
-    ):
+    ) -> None:
         #: cells with at least this many points go to the shared path;
         #: None derives block_dim // 4 at launch time
         self.dense_threshold = dense_threshold
@@ -77,7 +78,7 @@ class HybridSelectKernel(Kernel):
 
     @classmethod
     def with_static_hint(
-        cls, dense_threshold: int | None = None, *, spec=None
+        cls, dense_threshold: int | None = None, *, spec: DeviceSpec | None = None
     ) -> "HybridSelectKernel":
         """Construct with the tie-break driven by kernelcheck's static
         occupancy table for the target device spec."""

@@ -15,28 +15,58 @@ points than the block size, the extra tiling loop the paper describes
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
 from repro.gpusim.costmodel import KernelCounters
-from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.kernelapi import Barrier, KernelContext
 from repro.gpusim.launch import Kernel, LaunchConfig
 from repro.gpusim.memory import ResultBuffer
 from repro.index.grid import GridIndex
 
 __all__ = ["GPUCalcShared"]
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.absint import KernelInvariants
+
 
 class GPUCalcShared(Kernel):
     """Algorithm 3: block-per-cell ε-neighborhoods via shared memory."""
 
     name = "GPUCalcShared"
+    #: KC006 live-range estimate (repro analyze kernels)
+    registers_per_thread = 18
 
     def shared_mem_per_block(self, block_dim: int) -> int:
         """Origin + comparison point tiles (xy f64) and their id arrays,
         plus the 9-entry neighbor-cell list — lowers SM occupancy."""
         return 48 * block_dim + 80
+
+    def value_invariants(self) -> "KernelInvariants":
+        from repro.analysis.absint import KernelInvariants, RowRange
+
+        return KernelInvariants(
+            lengths={
+                "D": "n",
+                "A": "n",
+                "G_min": "nx*ny",
+                "G_max": "nx*ny",
+                "S": "n_sched",
+                "point_mask": "n",
+            },
+            scalars={
+                "n": (1, None),
+                "nx": (1, None),
+                "ny": (1, None),
+                "n_sched": (1, "nx*ny"),
+                "n_batches": (1, None),
+                "batch": (0, "n_batches-1"),
+            },
+            elements={"A": (0, "n-1"), "S": (0, "nx*ny-1")},
+            # scheduled cells are non-empty: G_min[c] <= G_max[c]
+            rows=(RowRange("G_min", "G_max", "A", empty=False),),
+        )
 
     # ------------------------------------------------------------------
     # interpreter device code (has barriers → generator function)
@@ -57,7 +87,7 @@ class GPUCalcShared(Kernel):
         batch: int = 0,
         n_batches: int = 1,
         point_mask: Optional[np.ndarray] = None,
-    ):
+    ) -> Iterator[Barrier]:
         if ctx.block_idx >= len(S):
             return
         cell_to_proc = int(S[ctx.block_idx])

@@ -15,6 +15,13 @@ from tests.analysis.badkernels.kc001 import (
 from tests.analysis.badkernels.kc002 import SharedRWRaceKernel, SharedWWRaceKernel
 from tests.analysis.badkernels.kc003 import NonAffineKernel, StridedKernel
 from tests.analysis.badkernels.kc004 import UndeclaredSharedKernel
+from tests.analysis.badkernels.kc005 import (
+    OobNegativeGatherKernel,
+    OobOffByOneKernel,
+    OobSharedWriteKernel,
+    OobUnguardedKernel,
+)
+from tests.analysis.badkernels.kc006 import RegisterHogKernel
 
 #: (kernel instance, rule it must trigger)
 BAD_KERNELS = [
@@ -26,6 +33,11 @@ BAD_KERNELS = [
     (StridedKernel(), "KC003"),
     (NonAffineKernel(), "KC003"),
     (UndeclaredSharedKernel(), "KC004"),
+    (OobUnguardedKernel(), "KC005"),
+    (OobOffByOneKernel(), "KC005"),
+    (OobSharedWriteKernel(), "KC005"),
+    (OobNegativeGatherKernel(), "KC005"),
+    (RegisterHogKernel(), "KC006"),
 ]
 
 __all__ = [
@@ -38,4 +50,9 @@ __all__ = [
     "StridedKernel",
     "NonAffineKernel",
     "UndeclaredSharedKernel",
+    "OobUnguardedKernel",
+    "OobOffByOneKernel",
+    "OobSharedWriteKernel",
+    "OobNegativeGatherKernel",
+    "RegisterHogKernel",
 ]

@@ -8,7 +8,9 @@ from repro.gpusim.launch import Kernel
 
 class SharedRWRaceKernel(Kernel):
     """Each thread writes its own slot then reads its neighbour's with
-    no barrier in between — reads observe undefined freshness."""
+    no barrier in between — reads observe undefined freshness.  (The
+    neighbour index wraps, so the *only* defect is the race: KC005 can
+    prove every access in-bounds.)"""
 
     name = "BadSharedRW"
 
@@ -18,8 +20,11 @@ class SharedRWRaceKernel(Kernel):
     def device_code(self, ctx: KernelContext, *, out: np.ndarray) -> None:
         tid = ctx.thread_idx
         buf = ctx.shared("buf", (ctx.block_dim,), np.int64)
+        j = tid + 1
+        if j >= ctx.block_dim:
+            j = 0
         buf[tid] = tid
-        out[tid] = buf[tid + 1]
+        out[tid] = buf[j]
 
 
 class SharedWWRaceKernel(Kernel):

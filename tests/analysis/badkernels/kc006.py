@@ -1,0 +1,33 @@
+"""KC006 seed: declared register budget below the live-range estimate.
+
+The kernel keeps many thread-local values live across a loop (several of
+them loop-carried, which the estimate weighs double) while declaring a
+tiny ``registers_per_thread`` — the occupancy table would promise far
+more resident blocks than the register file can hold.
+"""
+
+import numpy as np
+
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel
+
+
+class RegisterHogKernel(Kernel):
+    """Eight simultaneously-live locals against a declared budget of 8
+    registers (4 of which the estimate's fixed overhead consumes)."""
+
+    name = "BadRegisterHog"
+    registers_per_thread = 8
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray, n: int) -> None:
+        tid = ctx.thread_idx
+        a0 = tid + 1
+        a1 = tid + 2
+        a2 = tid + 3
+        a3 = tid + 4
+        a4 = tid + 5
+        a5 = tid + 6
+        acc = 0
+        for i in range(8):
+            acc = acc + a0 + a1 + a2 + a3 + a4 + a5 + i
+        out[tid] = acc + a0 + a1 + a2 + a3 + a4 + a5

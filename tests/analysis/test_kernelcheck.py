@@ -74,7 +74,14 @@ class TestBadKernelCorpus:
         assert {f.rule for f in report.findings} == {expected}
 
     def test_corpus_covers_every_rule(self):
-        assert {r for _, r in BAD_KERNELS} == {"KC001", "KC002", "KC003", "KC004"}
+        assert {r for _, r in BAD_KERNELS} == {
+            "KC001",
+            "KC002",
+            "KC003",
+            "KC004",
+            "KC005",
+            "KC006",
+        }
 
 
 # ======================================================================
@@ -97,6 +104,30 @@ class TestShippedKernelsClean:
         ]
         assert not report.has_device_code
         assert report.occupancy  # KC004 runs even without device code
+
+    def test_every_access_proved(self):
+        """KC005's access table per shipped kernel: every global/shared
+        index resolves to ``proved`` against the kernel's contract."""
+        for report in analyze_shipped():
+            if not report.has_device_code:
+                continue
+            assert report.accesses, report.kernel
+            statuses = {a["status"] for a in report.accesses}
+            assert statuses == {"proved"}, (report.kernel, statuses)
+
+    def test_register_estimate_sharper_than_proxy(self):
+        """KC006's live-range estimate must actually differ from the old
+        locals+params proxy somewhere — otherwise the liveness machinery
+        is dead weight."""
+        reports = [r for r in analyze_shipped() if r.has_device_code]
+        assert all(r.register_estimate is not None for r in reports)
+        assert any(
+            r.register_estimate != r.register_proxy for r in reports
+        )
+        # declared budgets were re-derived from the estimate, so the
+        # KC006 pass itself stays silent on shipped kernels
+        for report in reports:
+            assert report.register_estimate <= report.registers_per_thread
 
 
 # ======================================================================

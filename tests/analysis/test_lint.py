@@ -1,4 +1,4 @@
-"""Tests for the repo-invariant AST lint (GS001–GS004)."""
+"""Tests for the repo-invariant AST lint (GS001–GS005)."""
 
 import json
 from pathlib import Path
@@ -164,6 +164,70 @@ class TestGS004SeededRandom:
             "rng.shuffle(x)\n"
         )
         assert lint_source(src, "core/x.py") == []
+
+
+class TestGS005HostOnlyAPI:
+    def test_numpy_call_in_device_code_flagged(self):
+        src = (
+            "class K:\n"
+            "    def device_code(self, ctx, *, out):\n"
+            "        tmp = np.zeros(4)\n"
+            "        out[ctx.global_id] = tmp[0]\n"
+        )
+        findings = lint_source(src, "kernels/x.py")
+        assert rules(findings) == ["GS005"]
+        assert findings[0].line == 3
+        assert "np.zeros" in findings[0].message
+
+    def test_host_helper_call_flagged(self):
+        src = (
+            "class K:\n"
+            "    def device_code(self, ctx, *, out):\n"
+            "        out[ctx.global_id] = expensive_host_helper()\n"
+        )
+        assert rules(lint_source(src, "kernels/x.py")) == ["GS005"]
+
+    def test_print_flagged(self):
+        src = (
+            "def device_code(self, ctx, *, out):\n"
+            "    print(ctx.global_id)\n"
+        )
+        assert rules(lint_source(src, "kernels/x.py")) == ["GS005"]
+
+    def test_device_dialect_allowed(self):
+        """The full sanctioned surface in one body: ctx methods, math
+        intrinsics, arithmetic builtins, and device_array."""
+        src = (
+            "def device_code(self, ctx, *, D, out, n):\n"
+            "    D = device_array(D)\n"
+            "    gid = ctx.global_id\n"
+            "    if gid >= int(n):\n"
+            "        return\n"
+            "    buf = ctx.shared('buf', (ctx.block_dim,), np.int64)\n"
+            "    d = math.sqrt(abs(float(D[gid])))\n"
+            "    lo = min(gid, n - 1)\n"
+            "    hi = max(lo, 0)\n"
+            "    for i in range(len(out)):\n"
+            "        ctx.atomic_add(out, i, round(d))\n"
+            "    yield ctx.syncthreads()\n"
+        )
+        assert lint_source(src, "kernels/x.py") == []
+
+    def test_raise_constructor_exempt(self):
+        src = (
+            "def device_code(self, ctx, **kwargs):\n"
+            "    raise NotImplementedError('no interpreter path')\n"
+        )
+        assert lint_source(src, "gpusim/launch.py", in_device_layer=True) == []
+
+    def test_host_functions_unrestricted(self):
+        """Only ``device_code`` bodies are restricted — host-side code
+        calls whatever it likes."""
+        src = (
+            "def vector_impl(self, config, counters, *, out):\n"
+            "    out[:] = np.arange(len(out))\n"
+        )
+        assert lint_source(src, "kernels/x.py") == []
 
 
 class TestRunner:
