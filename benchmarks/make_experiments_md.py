@@ -236,6 +236,12 @@ def ablations() -> str:
          "wholesale shard faults (device OOM, device loss) are absorbed "
          "by retry/fallback or quad-split without recomputing finished "
          "shards; labels bit-identical under every policy"),
+        ("BENCH_placement", "multi-device shard placement (extension)",
+         "locality placement keeps adjacent tiles' halo rings "
+         "device-local (less collective all-to-all volume than "
+         "round-robin) and the incremental merge overlaps the builds: "
+         "modeled makespan beats the sequential-shard baseline while "
+         "labels stay bit-identical"),
         ("BENCH_cluster_device", "device-resident cluster formation (extension)",
          "union-find label kernels replace the host DBSCAN pass; labels "
          "bit-identical to the host components path at every density, "

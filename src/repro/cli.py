@@ -142,6 +142,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated worker count the shard schedule is packed onto",
     )
     c.add_argument(
+        "--devices", type=int, default=1,
+        help="simulated bounded devices; > 1 places shards across "
+             "devices with the collective halo exchange and the "
+             "incremental (overlapped) halo merge",
+    )
+    c.add_argument(
+        "--placement", choices=["locality", "round-robin"],
+        default="locality",
+        help="shard-to-device placement: 'locality' co-places adjacent "
+             "tiles so shared halo rings stay device-local; "
+             "'round-robin' is the scatter baseline",
+    )
+    c.add_argument(
         "--shard-mem-mb", type=float, default=None,
         help="per-shard device memory cap in MiB (out-of-core budget)",
     )
@@ -328,6 +341,8 @@ def _cmd_cluster_sharded(args, pts: np.ndarray) -> int:
                 shards_x=nx,
                 shards_y=ny,
                 n_workers=args.shard_workers,
+                n_devices=args.devices,
+                placement=args.placement,
                 device_mem_bytes=cap,
                 max_shard_retries=args.shard_retries,
                 split_on_oom=args.shard_split_on_oom,
@@ -361,6 +376,20 @@ def _cmd_cluster_sharded(args, pts: np.ndarray) -> int:
         "per_shard": [s.as_dict() for s in res.shard_stats],
         "shard_events": [e.as_dict() for e in res.events],
     }
+    if args.devices > 1:
+        payload["devices"] = args.devices
+        payload["placement"] = res.placement.as_dict()
+        payload["exchange"] = res.exchange.as_dict()
+        payload["lost_devices"] = res.lost_devices
+        ds = res.device_schedule
+        payload["device_schedule"] = {
+            "makespan_s": round(ds.makespan_s, 4),
+            "build_makespan_s": round(ds.build_makespan_s, 4),
+            "exchange_s": round(ds.exchange_s, 6),
+            "finalize_s": round(ds.finalize_s, 6),
+            "speedup": round(ds.speedup, 2),
+            "utilization": round(ds.utilization, 3),
+        }
     _emit(payload, args.json)
     return 0
 

@@ -7,6 +7,7 @@
 * :mod:`~repro.core.pipeline` — the S2 multi-clustering pipeline.
 * :mod:`~repro.core.reuse` — the S3 neighbor-table reuse scheme.
 * :mod:`~repro.core.sharding` — out-of-core sharded clustering.
+* :mod:`~repro.core.placement` — multi-device placement + overlap.
 """
 
 from repro.core.batching import BatchConfig, BatchPlan, BatchPlanner, RecoveryStats
@@ -20,6 +21,13 @@ from repro.core.multi_eps import EpsSweepResult, cluster_eps_sweep
 from repro.core.neighbor_table import NeighborTable
 from repro.core.optics import OpticsResult, extract_dbscan, optics
 from repro.core.pipeline import MultiClusterPipeline, PipelineResult
+from repro.core.placement import (
+    CollectiveExchange,
+    DevicePlacement,
+    IncrementalMerger,
+    collective_exchange,
+    place_shards,
+)
 from repro.core.reuse import ReuseResult, cluster_with_reuse
 from repro.core.sharding import (
     ShardAttempt,
@@ -56,6 +64,11 @@ __all__ = [
     "PipelineResult",
     "ReuseResult",
     "cluster_with_reuse",
+    "CollectiveExchange",
+    "DevicePlacement",
+    "IncrementalMerger",
+    "collective_exchange",
+    "place_shards",
     "ShardAttempt",
     "ShardConfig",
     "ShardFailureError",

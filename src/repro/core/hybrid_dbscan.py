@@ -283,6 +283,14 @@ class HybridDBSCAN:
         reported in ``ShardedResult.recovery`` and the per-attempt
         ``ShardedResult.events`` audit trail.
 
+        ``shard_config.n_devices > 1`` places the shards across N
+        simulated bounded devices (``shard_config.placement`` picks the
+        locality or round-robin placer) with the collective halo
+        exchange and the incremental merge overlapped with the builds;
+        a lost device's remaining shards are rescheduled onto the
+        survivors.  Labels stay bit-identical throughout (DESIGN.md
+        §13).
+
         Returns a :class:`~repro.core.sharding.ShardedResult`.
         """
         from repro.core.sharding import cluster_sharded

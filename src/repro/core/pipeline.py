@@ -85,6 +85,11 @@ class MultiClusterPipeline:
     ):
         if n_consumers < 1:
             raise ValueError("n_consumers must be >= 1")
+        if queue_depth < 1:
+            # queue.Queue(maxsize=0) would silently mean *unbounded* in
+            # threads mode while the simulated model deadlocks — reject
+            # the ambiguity at construction
+            raise ValueError("queue_depth must be >= 1")
         self.hybrid = hybrid or HybridDBSCAN(sanitize=sanitize)
         self.n_consumers = n_consumers
         self.queue_depth = queue_depth

@@ -84,7 +84,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Literal, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Literal, Optional
 
 import numpy as np
 from scipy import sparse
@@ -103,10 +103,19 @@ from repro.gpusim.faults import (
     classify_fault,
     derive_seed,
 )
-from repro.hostsim import Schedule, schedule_parallel
+from repro.hostsim import (
+    DeviceSchedule,
+    Schedule,
+    schedule_devices,
+    schedule_parallel,
+)
 from repro.index.grid import GridIndex
 
+if TYPE_CHECKING:  # placement imports sharding; annotations only here
+    from repro.core.placement import CollectiveExchange, DevicePlacement
+
 __all__ = [
+    "PLACEMENT_STRATEGIES",
     "ShardConfig",
     "Shard",
     "ShardPlan",
@@ -130,6 +139,9 @@ __all__ = [
 # ----------------------------------------------------------------------
 # configuration
 # ----------------------------------------------------------------------
+PLACEMENT_STRATEGIES = ("locality", "round-robin")
+
+
 @dataclass(frozen=True)
 class ShardConfig:
     """Tunables of the sharding layer."""
@@ -139,6 +151,15 @@ class ShardConfig:
     shards_y: int = 2
     #: simulated shard workers for the hostsim makespan model
     n_workers: int = 2
+    #: simulated bounded devices shards are placed onto; > 1 switches
+    #: :func:`cluster_sharded` to the multi-device executor (per-device
+    #: pinned queues, collective halo exchange, incremental halo merge
+    #: overlapped with the builds — DESIGN.md §13)
+    n_devices: int = 1
+    #: shard→device placement strategy (:mod:`repro.core.placement`):
+    #: ``"locality"`` co-places adjacent tiles so shared halo rings stay
+    #: device-local; ``"round-robin"`` is the scatter baseline
+    placement: str = "locality"
     #: per-shard device global-memory capacity (None: the default
     #: :class:`~repro.gpusim.device.DeviceSpec` capacity).  This is the
     #: out-of-core knob: each shard must fit its index, grid arrays and
@@ -172,6 +193,13 @@ class ShardConfig:
             raise ValueError("shard grid must be at least 1x1")
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if self.n_devices < 1:
+            raise ValueError("n_devices must be >= 1")
+        if self.placement not in PLACEMENT_STRATEGIES:
+            raise ValueError(
+                f"unknown placement strategy {self.placement!r} "
+                f"(expected one of {PLACEMENT_STRATEGIES})"
+            )
         if self.device_mem_bytes is not None and self.device_mem_bytes <= 0:
             raise ValueError("device_mem_bytes must be positive")
         if self.max_shard_retries < 0:
@@ -698,6 +726,8 @@ class ShardAttempt:
     attempt: int
     #: ``"ok"`` | ``"retry"`` | ``"split"`` | ``"failed"``
     outcome: str
+    #: device the attempt ran on (multi-device executor; 0 otherwise)
+    device: int = 0
     #: :func:`~repro.gpusim.faults.classify_fault` class ("" on success)
     fault: str = ""
     error: str = ""
@@ -717,6 +747,7 @@ class ShardAttempt:
             "generation": self.generation,
             "attempt": self.attempt,
             "outcome": self.outcome,
+            "device": self.device,
             "fault": self.fault,
             "error": self.error,
             "mem_grant_bytes": self.mem_grant_bytes,
@@ -851,6 +882,7 @@ def run_shard_supervised(
     sanitize: Optional[bool] = None,
     cluster_on: Literal["host", "device"] = "host",
     events: Optional[list[ShardAttempt]] = None,
+    device_id: int = 0,
 ) -> "ShardLocalResult | list[Shard]":
     """Supervised attempt loop for one shard — the recovery state machine.
 
@@ -861,7 +893,9 @@ def run_shard_supervised(
     ``cfg.fault_factory``) persists across attempts so bounded fault
     budgets span retries.  Fatal faults propagate unchanged; an
     exhausted retry budget raises :class:`ShardFailureError`.  Every
-    attempt is appended to ``events`` (the recovery audit trail).
+    attempt is appended to ``events`` (the recovery audit trail),
+    stamped with ``device_id`` — the simulated device the multi-device
+    executor pinned this shard to (0 on the single-device path).
     """
     injector = (
         cfg.fault_factory(shard) if cfg.fault_factory is not None else None
@@ -904,6 +938,7 @@ def run_shard_supervised(
                     generation=shard.generation,
                     attempt=attempt,
                     outcome=outcome,
+                    device=device_id,
                     fault=fclass,
                     error=f"{type(exc).__name__}: {exc}",
                     mem_grant_bytes=grant,
@@ -957,6 +992,7 @@ def run_shard_supervised(
                     generation=shard.generation,
                     attempt=attempt,
                     outcome="ok",
+                    device=device_id,
                     mem_grant_bytes=grant,
                     shard_s=local.stats.shard_s,
                 )
@@ -1047,12 +1083,27 @@ class ShardedResult:
     shard_stats: list[ShardStats]
     #: wall seconds of the sequential host execution
     serial_s: float = 0.0
-    #: merge phase wall seconds
+    #: merge phase wall seconds (incremental absorbs + finalize on the
+    #: multi-device path; the barrier merge otherwise)
     merge_s: float = 0.0
-    #: modeled makespan over ``config.n_workers`` shard workers
+    #: modeled makespan over ``config.n_workers`` shard workers; every
+    #: supervised attempt (including failed ones) occupies its worker
+    #: for its full duration.  Always populated — zero tasks when the
+    #: plan yields zero shards.
     schedule: Optional[Schedule] = None
     #: the recovery audit trail: one entry per supervised shard attempt
     events: list[ShardAttempt] = field(default_factory=list)
+    # --- multi-device placement layer (DESIGN.md §13) ---
+    #: shard→device assignment (:func:`repro.core.placement.place_shards`)
+    placement: Optional["DevicePlacement"] = None
+    #: modeled collective halo exchange of that placement
+    exchange: Optional["CollectiveExchange"] = None
+    #: event-driven multi-device makespan (builds pinned to devices,
+    #: merge increments overlapped, exchange prefix, finalize tail)
+    device_schedule: Optional[DeviceSchedule] = None
+    #: devices lost mid-run; their remaining shards were rescheduled
+    #: onto the surviving devices
+    lost_devices: list[int] = field(default_factory=list)
 
     @property
     def n_clusters(self) -> int:
@@ -1132,10 +1183,59 @@ def cluster_sharded(
     ``HybridDBSCAN(...).fit(points, eps, minpts)`` with the components
     implementation — with or without recovered faults, on either
     ``cluster_on`` path.
+
+    ``config.n_devices > 1`` switches to the multi-device executor
+    (DESIGN.md §13): shards are placed onto N bounded devices
+    (:func:`repro.core.placement.place_shards`), halo traffic is modeled
+    as one collective all-to-all, each device drains its pinned queue
+    concurrently (event simulation), and the halo merge runs
+    *incrementally* — each shard's reduction arrays are absorbed the
+    moment the shard completes, with only border attachment and
+    canonicalization left for the serial finalize.  A ``device_lost``
+    fault marks the device dead and reschedules its remaining shards
+    onto the surviving devices; labels stay bit-identical throughout.
     """
     cfg = config or ShardConfig()
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    pts_in = np.asarray(points, dtype=np.float64)
+    if pts_in.ndim != 2 or pts_in.shape[1] < 2:
+        raise ValueError("points must be an (n, 2) array")
+    if len(pts_in) == 0:
+        # an empty dataset clusters to zero shards, zero tasks — a
+        # well-formed (empty) result, not a planning error
+        plan = ShardPlan(
+            eps=float(eps),
+            config=cfg,
+            nx=0,
+            ny=0,
+            points=np.ascontiguousarray(pts_in[:, :2]),
+            sort_order=np.empty(0, dtype=np.int64),
+            shards=(),
+        )
+        return ShardedResult(
+            labels=np.empty(0, dtype=np.int64),
+            eps=float(eps),
+            minpts=int(minpts),
+            plan=plan,
+            shard_stats=[],
+            schedule=schedule_parallel([], cfg.n_workers),
+        )
     plan = plan_shards(points, eps, config=cfg)
     base_spec = device_spec or DeviceSpec()
+
+    run_kwargs = dict(
+        kernel=kernel,
+        batch_config=batch_config,
+        backend=backend,
+        block_dim=block_dim,
+        sanitize=sanitize,
+        cluster_on=cluster_on,
+    )
+    if cfg.n_devices > 1:
+        return _cluster_sharded_multidevice(
+            plan, minpts, cfg, base_spec, run_kwargs
+        )
 
     locals_: list[ShardLocalResult] = []
     events: list[ShardAttempt] = []
@@ -1144,18 +1244,7 @@ def cluster_sharded(
     while pending:
         shard = pending.popleft()
         outcome = run_shard_supervised(
-            plan,
-            shard,
-            minpts,
-            cfg,
-            base_spec,
-            kernel=kernel,
-            batch_config=batch_config,
-            backend=backend,
-            block_dim=block_dim,
-            sanitize=sanitize,
-            cluster_on=cluster_on,
-            events=events,
+            plan, shard, minpts, cfg, base_spec, events=events, **run_kwargs
         )
         if isinstance(outcome, ShardLocalResult):
             locals_.append(outcome)
@@ -1172,9 +1261,14 @@ def cluster_sharded(
     merge_s = time.perf_counter() - t1
 
     stats = [lr.stats for lr in locals_]
-    sched = schedule_parallel(
-        [s.shard_s for s in stats], cfg.n_workers
-    ) if stats else None
+    # every supervised attempt — retries, splits, and successes alike —
+    # occupied a worker for its full duration; scheduling only the
+    # successful attempts' times would let failed-attempt wall time
+    # vanish from the modeled makespan
+    sched = schedule_parallel([e.shard_s for e in events], cfg.n_workers)
+    from repro.core.placement import collective_exchange, place_shards
+
+    placement = place_shards(plan, 1, cfg.placement)
     return ShardedResult(
         labels=labels,
         eps=float(eps),
@@ -1185,4 +1279,154 @@ def cluster_sharded(
         merge_s=merge_s,
         schedule=sched,
         events=events,
+        placement=placement,
+        exchange=collective_exchange(plan, placement),
+        # the single-device baseline the placement ablation compares
+        # against: every build and the whole (barrier) merge serialized
+        device_schedule=schedule_devices(
+            [e.shard_s for e in events],
+            [0] * len(events),
+            n_devices=1,
+            finalize_s=merge_s,
+        ),
+    )
+
+
+def _cluster_sharded_multidevice(
+    plan: ShardPlan,
+    minpts: int,
+    cfg: ShardConfig,
+    base_spec: DeviceSpec,
+    run_kwargs: dict,
+) -> ShardedResult:
+    """The N-device executor: pinned queues, overlapped incremental merge.
+
+    Devices are simulated (shards still execute one at a time on this
+    host); concurrency is replayed as an event simulation — the next
+    shard to run is always the head of the earliest-clock live device's
+    queue, which is the order a real N-device host would observe
+    completions in.  The merge absorbs each completed shard immediately
+    (:class:`repro.core.placement.IncrementalMerger`), so only border
+    attachment + canonicalization remain after the last build.
+    """
+    from repro.core.placement import (
+        IncrementalMerger,
+        collective_exchange,
+        place_shards,
+    )
+
+    placement = place_shards(plan, cfg.n_devices, cfg.placement)
+    exchange = collective_exchange(plan, placement)
+    merger = IncrementalMerger(plan.n_points)
+
+    queues: dict[int, deque[Shard]] = {
+        d: deque(plan.shards[i] for i in placement.shards_of(d))
+        for d in range(cfg.n_devices)
+    }
+    alive = set(range(cfg.n_devices))
+    clock = [0.0] * cfg.n_devices
+    lost_devices: list[int] = []
+    locals_: list[ShardLocalResult] = []
+    events: list[ShardAttempt] = []
+    merge_inc: dict[int, float] = {}  # event index -> absorb seconds
+    merge_total = 0.0
+
+    def _least_loaded(candidates: set[int]) -> int:
+        return min(
+            candidates,
+            key=lambda d: (
+                clock[d] + sum(s.n_points for s in queues[d]),
+                d,
+            ),
+        )
+
+    t0 = time.perf_counter()
+    while True:
+        ready = [d for d in alive if queues[d]]
+        if not ready:
+            break
+        dev = min(ready, key=lambda d: (clock[d], d))
+        shard = queues[dev].popleft()
+        n_ev = len(events)
+        outcome = run_shard_supervised(
+            plan,
+            shard,
+            minpts,
+            cfg,
+            base_spec,
+            events=events,
+            device_id=dev,
+            **run_kwargs,
+        )
+        # a lost device: everything after the loss ran on a fallback —
+        # in the N-device model that fallback is a surviving device, the
+        # dead one takes no further work, and its queue is redistributed
+        loss_idx = next(
+            (
+                i
+                for i in range(n_ev, len(events))
+                if events[i].outcome == "retry"
+                and events[i].error.startswith("DeviceLostError")
+            ),
+            None,
+        )
+        if loss_idx is not None and len(alive) > 1:
+            alive.discard(dev)
+            lost_devices.append(dev)
+            survivor = _least_loaded(alive)
+            for i in range(n_ev, loss_idx + 1):
+                clock[dev] += events[i].shard_s
+            for i in range(loss_idx + 1, len(events)):
+                events[i].device = survivor
+                clock[survivor] += events[i].shard_s
+            while queues[dev]:
+                queues[_least_loaded(alive)].append(queues[dev].popleft())
+            dev = survivor
+        else:
+            for i in range(n_ev, len(events)):
+                clock[dev] += events[i].shard_s
+        if isinstance(outcome, ShardLocalResult):
+            locals_.append(outcome)
+            tm = time.perf_counter()
+            merger.absorb(outcome)
+            inc = time.perf_counter() - tm
+            merge_inc[len(events) - 1] = inc  # the "ok" event
+            merge_total += inc
+        else:
+            # quad-split children take the parent's place at the head
+            # of the parent's (possibly reassigned) device queue
+            queues[dev].extendleft(reversed(outcome))
+    serial_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    labels_sorted = merger.finalize()
+    labels = np.empty_like(labels_sorted)
+    labels[plan.sort_order] = labels_sorted
+    finalize_s = time.perf_counter() - t1
+
+    stats = [lr.stats for lr in locals_]
+    return ShardedResult(
+        labels=labels,
+        eps=plan.eps,
+        minpts=int(minpts),
+        plan=plan,
+        shard_stats=stats,
+        serial_s=serial_s,
+        merge_s=merge_total + finalize_s,
+        # worker-model makespan kept for continuity with n_devices == 1
+        schedule=schedule_parallel(
+            [e.shard_s for e in events], cfg.n_workers
+        ),
+        events=events,
+        placement=placement,
+        exchange=exchange,
+        device_schedule=schedule_devices(
+            [e.shard_s for e in events],
+            [e.device for e in events],
+            [merge_inc.get(i, 0.0) for i in range(len(events))],
+            n_devices=cfg.n_devices,
+            exchange_s=exchange.modeled_s(),
+            finalize_s=finalize_s,
+        ),
+        lost_devices=lost_devices,
     )

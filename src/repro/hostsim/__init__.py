@@ -12,6 +12,7 @@ computed by a deterministic list scheduler over ``n`` simulated cores.
 with real cores.
 """
 
+from repro.hostsim.multidevice import DeviceSchedule, schedule_devices
 from repro.hostsim.scheduler import (
     PipelineSchedule,
     Schedule,
@@ -22,6 +23,8 @@ from repro.hostsim.scheduler import (
 __all__ = [
     "schedule_parallel",
     "schedule_pipeline",
+    "schedule_devices",
     "Schedule",
     "PipelineSchedule",
+    "DeviceSchedule",
 ]

@@ -131,6 +131,11 @@ def schedule_pipeline(
     """
     if n_consumers < 1:
         raise ValueError("n_consumers must be >= 1")
+    if queue_depth is not None and queue_depth < 1:
+        # depth 0 would mean "item i may only be produced once item i has
+        # started consumption" — a deadlock (and an IndexError below,
+        # since intervals[i] does not exist before item i is produced)
+        raise ValueError("queue_depth must be >= 1 (or None for unbounded)")
     ps = _validate(produce_durations, "produce_durations")
     cs = _validate(consume_durations, "consume_durations")
     if len(ps) != len(cs):

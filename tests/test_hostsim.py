@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hostsim import schedule_parallel, schedule_pipeline
+from repro.hostsim import schedule_devices, schedule_parallel, schedule_pipeline
 
 durations_strategy = st.lists(
     st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=40
@@ -112,6 +112,20 @@ class TestSchedulePipeline:
         with pytest.raises(ValueError):
             schedule_pipeline([1.0], [1.0], 0)
 
+    def test_queue_depth_zero_rejected(self):
+        # regression: depth 0 used to index intervals[i] before item i
+        # existed (IndexError) — it is a deadlock, not a valid depth
+        with pytest.raises(ValueError, match="queue_depth"):
+            schedule_pipeline([1.0, 1.0], [1.0, 1.0], 1, queue_depth=0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            schedule_pipeline([1.0], [1.0], 2, queue_depth=-1)
+
+    def test_queue_depth_zero_rejected_in_pipeline_class(self):
+        from repro.core import MultiClusterPipeline
+
+        with pytest.raises(ValueError, match="queue_depth"):
+            MultiClusterPipeline(queue_depth=0)
+
     def test_empty(self):
         assert schedule_pipeline([], [], 2).makespan_s == 0.0
 
@@ -131,6 +145,126 @@ class TestSchedulePipeline:
         assert s.makespan_s >= sum(ps) - 1e-9
         assert s.makespan_s >= sum(cs) / n - 1e-9
         assert s.speedup_vs_serial >= 1.0 - 1e-9
+
+
+def _intervals_disjoint(ivs):
+    """Per-worker intervals never overlap (half-open)."""
+    by_worker = {}
+    for iv in ivs:
+        by_worker.setdefault(iv.worker, []).append(iv)
+    for group in by_worker.values():
+        group.sort(key=lambda iv: iv.start_s)
+        for a, b in zip(group, group[1:]):
+            if a.end_s > b.start_s + 1e-9:
+                return False
+    return True
+
+
+devices_case = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),  # build
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),  # merge
+    ),
+    max_size=30,
+)
+
+
+class TestScheduleDevices:
+    def test_single_device_is_serial(self):
+        s = schedule_devices([1.0, 2.0, 3.0], [0, 0, 0], [0.5, 0.5, 0.5])
+        # builds back to back; merge increments hide behind later builds
+        # except the last one
+        assert s.build_makespan_s == 6.0
+        assert s.makespan_s == pytest.approx(6.5)
+
+    def test_two_devices_overlap(self):
+        s = schedule_devices([2.0, 2.0], [0, 1])
+        assert s.makespan_s == pytest.approx(2.0)
+        assert s.device_busy_s(0) == pytest.approx(2.0)
+        assert s.device_busy_s(1) == pytest.approx(2.0)
+
+    def test_merge_worker_is_serial_and_fifo(self):
+        s = schedule_devices([1.0, 2.0], [0, 1], [5.0, 5.0])
+        by_task = {iv.task: iv for iv in s.merge_intervals}
+        assert by_task[0].start_s == pytest.approx(1.0)
+        # task 1's merge waits for the single merge worker, not just
+        # its own build
+        assert by_task[1].start_s == pytest.approx(6.0)
+        assert s.makespan_s == pytest.approx(11.0)
+
+    def test_exchange_prefix_and_finalize_tail(self):
+        s = schedule_devices(
+            [1.0], [0], [1.0], exchange_s=0.5, finalize_s=0.25
+        )
+        assert s.build_intervals[0].start_s == pytest.approx(0.5)
+        assert s.makespan_s == pytest.approx(0.5 + 1.0 + 1.0 + 0.25)
+
+    def test_empty(self):
+        s = schedule_devices([], [], n_devices=3)
+        assert s.makespan_s == 0.0
+        assert s.serial_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_devices([1.0], [0], n_devices=0)
+        with pytest.raises(ValueError):
+            schedule_devices([1.0], [2], n_devices=2)
+        with pytest.raises(ValueError):
+            schedule_devices([-1.0], [0])
+        with pytest.raises(ValueError):
+            schedule_devices([1.0], [0, 1])
+        with pytest.raises(ValueError):
+            schedule_devices([1.0], [0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            schedule_devices([1.0], [0], exchange_s=-1.0)
+
+    @given(devices_case, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=80)
+    def test_property_conservation_and_no_overlap(self, case, k):
+        builds = [b for b, _ in case]
+        merges = [m for _, m in case]
+        devs = [i % k for i in range(len(case))]
+        s = schedule_devices(builds, devs, merges, n_devices=k)
+        # work conservation: serial_s is exactly the duration sum
+        assert s.serial_s == pytest.approx(sum(builds) + sum(merges))
+        # per-device build intervals never overlap; the single merge
+        # worker's intervals never overlap
+        assert _intervals_disjoint(s.build_intervals)
+        assert _intervals_disjoint(s.merge_intervals)
+        # every merge starts at/after its build completes
+        ends = {iv.task: iv.end_s for iv in s.build_intervals}
+        for iv in s.merge_intervals:
+            assert iv.start_s >= ends[iv.task] - 1e-9
+
+    @given(devices_case, st.integers(min_value=2, max_value=6))
+    @settings(max_examples=60)
+    def test_property_never_slower_than_one_device(self, case, k):
+        """Any placement onto k devices beats (or ties) serializing
+        everything onto one device — the overlapped-merge guarantee."""
+        builds = [b for b, _ in case]
+        merges = [m for _, m in case]
+        one = schedule_devices(
+            builds, [0] * len(case), merges, n_devices=1
+        )
+        for devs in (
+            [i % k for i in range(len(case))],  # round-robin
+            [min(i * k // max(len(case), 1), k - 1) for i in range(len(case))],
+        ):  # contiguous
+            s = schedule_devices(builds, devs, merges, n_devices=k)
+            assert s.makespan_s <= one.makespan_s + 1e-9
+
+    @given(devices_case)
+    @settings(max_examples=40)
+    def test_property_makespan_lower_bounds(self, case):
+        builds = [b for b, _ in case]
+        merges = [m for _, m in case]
+        k = 3
+        devs = [i % k for i in range(len(case))]
+        s = schedule_devices(builds, devs, merges, n_devices=k)
+        # cannot beat the busiest device or the merge worker's demand
+        for d in range(k):
+            assert s.makespan_s >= s.device_busy_s(d) - 1e-9
+        assert s.makespan_s >= sum(merges) - 1e-9
 
 
 class TestEndToEndModes:
