@@ -242,6 +242,14 @@ def ablations() -> str:
          "round-robin) and the incremental merge overlaps the builds: "
          "modeled makespan beats the sequential-shard baseline while "
          "labels stay bit-identical"),
+        ("BENCH_serve", "long-lived clustering service (extension)",
+         "under rising offered load the serving loop sheds typed "
+         "rejections and flagged stale/sampled answers instead of "
+         "collapsing: zero sheds at light load, load-responsive "
+         "shedding at heavy load, cache hit rate > 0 on repeated "
+         "(epoch, eps) queries, and every exact response bit-identical "
+         "to a direct fit — with retry/backoff + circuit breaking "
+         "absorbing injected transient faults"),
         ("BENCH_cluster_device", "device-resident cluster formation (extension)",
          "union-find label kernels replace the host DBSCAN pass; labels "
          "bit-identical to the host components path at every density, "

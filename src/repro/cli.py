@@ -13,6 +13,10 @@ Commands
     Compute an OPTICS ordering and extract clusterings.
 ``info``
     Describe a dataset (size, extent, density profile).
+``serve``
+    Long-lived clustering service: replay a deterministic request trace
+    through admission control, the epoch-keyed result cache,
+    retry/backoff + circuit breaking, and graceful degradation.
 ``analyze kernels``
     kernelcheck: static verification of the registered device kernels
     (barrier divergence, shared-memory races, coalescing, occupancy,
@@ -216,6 +220,59 @@ def build_parser() -> argparse.ArgumentParser:
     common(i)
     i.add_argument("--eps", type=float, default=None,
                    help="eps for the density profile (default: auto)")
+
+    v = sub.add_parser(
+        "serve",
+        help="long-lived clustering service: replay a deterministic "
+             "request trace through admission control, the epoch-keyed "
+             "result cache, retry/backoff + circuit breaking, and "
+             "graceful degradation",
+    )
+    common(v)
+    v.add_argument("--requests", type=int, default=50,
+                   help="synthetic trace length")
+    v.add_argument("--eps", type=float, nargs="+", required=True,
+                   help="eps values the trace draws from")
+    v.add_argument("--minpts", type=int, nargs="+", default=[4],
+                   help="minpts values the trace draws from")
+    v.add_argument("--interarrival-ms", type=float, default=5.0,
+                   help="mean request interarrival on the virtual clock "
+                        "(smaller = more offered load)")
+    v.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request deadline (virtual ms); omit for "
+                        "best-effort")
+    v.add_argument("--tenants", type=int, default=1)
+    v.add_argument("--bump-every", type=int, default=0,
+                   help="interleave a dataset epoch bump every N requests "
+                        "(0 = never) — exercises cache invalidation and "
+                        "stale degraded serving")
+    v.add_argument("--workers", type=int, default=2,
+                   help="simulated host workers")
+    v.add_argument("--device-slots", type=int, default=2,
+                   help="simulated device slots the circuit breaker "
+                        "quarantines over")
+    v.add_argument("--max-queue", type=int, default=8,
+                   help="admission queue bound")
+    v.add_argument("--no-degrade", action="store_true",
+                   help="disable graceful degradation (typed rejection "
+                        "instead of stale/sampled answers)")
+    v.add_argument(
+        "--inject-transfer-every", type=int, default=0, metavar="N",
+        help="fault injection: every Nth request's first execution "
+             "attempt suffers persistent transfer faults (exercises "
+             "retry/backoff; 0 = off)",
+    )
+    v.add_argument(
+        "--inject-slowdown-ms", type=float, default=0.0, metavar="MS",
+        help="fault injection: stall every --slowdown-every'th request's "
+             "device ops by MS virtual ms (no wall-clock sleep)",
+    )
+    v.add_argument("--slowdown-every", type=int, default=4, metavar="N",
+                   help="period of --inject-slowdown-ms injection")
+    v.add_argument("--seed", type=int, default=0,
+                   help="trace + backoff-jitter seed")
+    v.add_argument("--responses", action="store_true",
+                   help="include the per-request response log in output")
 
     a = sub.add_parser(
         "analyze", help="static analysis of the simulated-GPU code"
@@ -507,6 +564,78 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import (
+        AdmissionConfig,
+        ClusteringService,
+        DegradeConfig,
+        ServeConfig,
+        make_trace,
+    )
+
+    pts = _load(args.points, args.scale)
+
+    fault_factory = None
+    if args.inject_transfer_every or args.inject_slowdown_ms:
+        def fault_factory(request, slot, attempt):
+            specs = []
+            if (
+                args.inject_transfer_every
+                and attempt == 0
+                and request.seq % args.inject_transfer_every == 0
+            ):
+                specs.append(FaultSpec("transfer", times=None))
+            if (
+                args.inject_slowdown_ms
+                and request.seq % args.slowdown_every == 0
+            ):
+                specs.append(
+                    FaultSpec(
+                        "slowdown", times=None,
+                        delay_ms=args.inject_slowdown_ms,
+                    )
+                )
+            if not specs:
+                return None
+            return FaultInjector(
+                specs, seed=derive_seed(args.seed, request.seq, attempt)
+            )
+
+    svc = ClusteringService(
+        ServeConfig(
+            n_workers=args.workers,
+            n_device_slots=args.device_slots,
+            admission=AdmissionConfig(max_queue=args.max_queue),
+            degrade=DegradeConfig(enabled=not args.no_degrade),
+            seed=args.seed,
+            sanitize=True if args.sanitize else None,
+            fault_factory=fault_factory,
+        )
+    )
+    svc.register_dataset(args.points, pts)
+    trace = make_trace(
+        args.points,
+        n_requests=args.requests,
+        eps_choices=args.eps,
+        minpts_choices=args.minpts,
+        mean_interarrival_ms=args.interarrival_ms,
+        deadline_ms=args.deadline_ms,
+        n_tenants=args.tenants,
+        bump_every=args.bump_every,
+        seed=args.seed,
+    )
+    result = svc.run_trace(trace)
+    payload = {"points": len(pts)} | result.as_dict(
+        with_responses=args.responses
+    )
+    _emit(payload, args.json)
+    if not result.sanitizer_clean:
+        print("sanitizer: violations recorded during serving",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis.kernelcheck import (
         DEFAULT_BLOCK_DIMS,
@@ -536,6 +665,7 @@ _COMMANDS = {
     "reuse": _cmd_reuse,
     "optics": _cmd_optics,
     "info": _cmd_info,
+    "serve": _cmd_serve,
     "analyze": _cmd_analyze,
 }
 

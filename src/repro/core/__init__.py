@@ -28,7 +28,12 @@ from repro.core.placement import (
     collective_exchange,
     place_shards,
 )
-from repro.core.reuse import ReuseResult, cluster_with_reuse
+from repro.core.reuse import (
+    ReuseResult,
+    ReuseVariantError,
+    ReuseVariantOutcome,
+    cluster_with_reuse,
+)
 from repro.core.sharding import (
     ShardAttempt,
     ShardConfig,
@@ -64,6 +69,8 @@ __all__ = [
     "PipelineResult",
     "ReuseResult",
     "cluster_with_reuse",
+    "ReuseVariantError",
+    "ReuseVariantOutcome",
     "CollectiveExchange",
     "DevicePlacement",
     "IncrementalMerger",

@@ -20,7 +20,26 @@ from repro.core.hybrid_dbscan import HybridDBSCAN
 from repro.core.table_dbscan import NOISE
 from repro.hostsim import schedule_parallel
 
-__all__ = ["ReuseVariantOutcome", "ReuseResult", "cluster_with_reuse"]
+__all__ = [
+    "ReuseVariantError",
+    "ReuseVariantOutcome",
+    "ReuseResult",
+    "cluster_with_reuse",
+]
+
+
+class ReuseVariantError(RuntimeError):
+    """One minpts variant's worker failed (``mode="threads"``).
+
+    Carried on :attr:`ReuseVariantOutcome.error` instead of propagating,
+    so one poisoned variant cannot take down the surviving 15 threads'
+    results; ``cause`` is the original exception.
+    """
+
+    def __init__(self, minpts: int, cause: BaseException):
+        super().__init__(f"minpts={minpts} variant failed: {cause!r}")
+        self.minpts = int(minpts)
+        self.cause = cause
 
 
 @dataclass
@@ -30,6 +49,12 @@ class ReuseVariantOutcome:
     n_noise: int
     dbscan_s: float
     labels: Optional[np.ndarray] = None
+    #: set when this variant's worker raised (mode="threads" only)
+    error: Optional[ReuseVariantError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass
@@ -50,6 +75,11 @@ class ReuseResult:
     @property
     def minpts_values(self) -> list[int]:
         return [o.minpts for o in self.outcomes]
+
+    @property
+    def failed_minpts(self) -> list[int]:
+        """Variants whose worker raised (always empty in simulate mode)."""
+        return [o.minpts for o in self.outcomes if not o.ok]
 
     @property
     def thread_speedup(self) -> float:
@@ -99,6 +129,22 @@ def cluster_with_reuse(
             labels=labels if keep_labels else None,
         )
 
+    def one_captured(minpts: int) -> ReuseVariantOutcome:
+        # threads mode: a raising variant must not poison the pool —
+        # capture into the outcome so the surviving variants still
+        # return (simulate mode stays strict and propagates)
+        t0 = time.perf_counter()
+        try:
+            return one(minpts)
+        except Exception as exc:
+            return ReuseVariantOutcome(
+                minpts=int(minpts),
+                n_clusters=0,
+                n_noise=0,
+                dbscan_s=time.perf_counter() - t0,
+                error=ReuseVariantError(minpts, exc),
+            )
+
     t_cluster = time.perf_counter()
     if mode == "simulate":
         outcomes = [one(m) for m in minpts_values]
@@ -108,12 +154,12 @@ def cluster_with_reuse(
         total_s = build_s + cluster_s
     else:
         if n_threads == 1:
-            outcomes = [one(m) for m in minpts_values]
+            outcomes = [one_captured(m) for m in minpts_values]
         else:
             with ThreadPoolExecutor(
                 max_workers=n_threads, thread_name_prefix="reuse"
             ) as pool:
-                outcomes = list(pool.map(one, minpts_values))
+                outcomes = list(pool.map(one_captured, minpts_values))
         cluster_s = time.perf_counter() - t_cluster
         serial_s = sum(o.dbscan_s for o in outcomes)
         total_s = time.perf_counter() - t_start

@@ -102,11 +102,19 @@ class Device:
         raise at this point; no-op on healthy devices.
 
         A lost device fails *every* operation, so ``device_lost`` specs
-        are checked at every hook point in addition to ``kind``.
+        are checked at every hook point in addition to ``kind``; the
+        same holds for ``slowdown`` specs, whose injected latency is
+        recorded as profiler stall time *before* any failure check so a
+        slow-then-dead device still bills its stall.
         """
-        if self.faults is not None:
-            if kind != "device_lost":
-                self.faults.check("device_lost")
+        if self.faults is None:
+            return
+        delay = self.faults.check("slowdown")
+        if delay:
+            self.profiler.record_stall(delay)
+        if kind != "device_lost":
+            self.faults.check("device_lost")
+        if kind != "slowdown":
             self.faults.check(kind)
 
     # ------------------------------------------------------------------

@@ -25,6 +25,13 @@ exception types at configurable points:
     table construction and surfaces to the shard supervisor
     (:mod:`repro.core.sharding`), which retries on a fresh fallback
     device.
+``"slowdown"``
+    Injected *latency*, not failure: a firing spec adds its
+    ``delay_ms`` to the device's modeled time (recorded as profiler
+    stall milliseconds) instead of raising.  Like ``device_lost`` it is
+    checked at every device operation.  Because the delay is simulated
+    — no wall-clock sleep, so GS002 stays clean — deadline and timeout
+    paths (:mod:`repro.service`) are testable deterministically.
 
 Injection is deterministic and seedable.  A :class:`FaultSpec` targets
 explicit batch indices (exact, reproducible) and/or fires with a
@@ -58,7 +65,7 @@ __all__ = [
     "derive_seed",
 ]
 
-FAULT_KINDS = ("overflow", "device_oom", "transfer", "device_lost")
+FAULT_KINDS = ("overflow", "device_oom", "transfer", "device_lost", "slowdown")
 
 
 class TransferError(RuntimeError):
@@ -139,12 +146,17 @@ class FaultSpec:
         Maximum number of firings (default 1); ``None`` is unlimited.
         A bounded spec lets recovery succeed on retry instead of
         failing the same batch forever.
+    delay_ms:
+        For ``"slowdown"`` specs only: the simulated latency (in
+        modeled device milliseconds) each firing injects.  Failure
+        kinds must leave it at 0.
     """
 
     kind: str
     batch_indices: Optional[frozenset] = None
     probability: float = 1.0
     times: Optional[int] = 1
+    delay_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -155,6 +167,11 @@ class FaultSpec:
             raise ValueError("probability must be in [0, 1]")
         if self.times is not None and self.times < 1:
             raise ValueError("times must be >= 1 (or None for unlimited)")
+        if self.kind == "slowdown":
+            if self.delay_ms <= 0:
+                raise ValueError("slowdown specs require delay_ms > 0")
+        elif self.delay_ms != 0.0:
+            raise ValueError("delay_ms is only meaningful for slowdown specs")
         if self.batch_indices is not None:
             object.__setattr__(
                 self, "batch_indices", frozenset(int(b) for b in self.batch_indices)
@@ -182,6 +199,8 @@ class FaultInjector:
         self._local = threading.local()
         #: firings per kind (observability for tests and stats)
         self.injected: Counter = Counter()
+        #: total modeled latency injected by slowdown specs
+        self.injected_delay_ms: float = 0.0
 
     # ------------------------------------------------------------------
     # convenience constructors
@@ -216,6 +235,29 @@ class FaultInjector:
         """Lose the device wholesale on its next ``times`` operations."""
         return cls([FaultSpec("device_lost", times=times)], seed=seed)
 
+    @classmethod
+    def slowdown(
+        cls,
+        delay_ms: float,
+        *,
+        times: Optional[int] = 1,
+        probability: float = 1.0,
+        seed: int = 0,
+    ) -> "FaultInjector":
+        """Stall the device for ``delay_ms`` modeled ms on its next
+        ``times`` operations (latency injection, never a failure)."""
+        return cls(
+            [
+                FaultSpec(
+                    "slowdown",
+                    probability=probability,
+                    times=times,
+                    delay_ms=delay_ms,
+                )
+            ],
+            seed=seed,
+        )
+
     # ------------------------------------------------------------------
     # batch scoping
     # ------------------------------------------------------------------
@@ -236,14 +278,21 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # the hook
     # ------------------------------------------------------------------
-    def check(self, kind: str, *, batch: Optional[int] = None) -> None:
+    def check(self, kind: str, *, batch: Optional[int] = None) -> float:
         """Raise the mapped exception if any spec of ``kind`` fires.
 
         ``batch`` defaults to the thread's current batch scope.
+
+        ``"slowdown"`` specs never raise: every firing spec contributes
+        its ``delay_ms`` to the returned total (also accumulated on
+        :attr:`injected_delay_ms`), which the device records as modeled
+        stall time.  Failure kinds always return 0.0 (they either raise
+        or do nothing).
         """
         if kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {kind!r}")
         b = batch if batch is not None else self.current_batch
+        delay = 0.0
         for i, spec in enumerate(self.specs):
             if spec.kind != kind:
                 continue
@@ -259,8 +308,14 @@ class FaultInjector:
                         continue
                 self._fired[i] += 1
                 self.injected[kind] += 1
+                if kind == "slowdown":
+                    self.injected_delay_ms += spec.delay_ms
+            if kind == "slowdown":
+                delay += spec.delay_ms
+                continue
             where = f" (batch {b})" if b is not None else ""
             raise _EXCEPTIONS[kind](f"injected {kind} fault{where}")
+        return delay
 
     @property
     def total_injected(self) -> int:
@@ -274,3 +329,4 @@ class FaultInjector:
                 np.random.default_rng((self.seed, i)) for i in range(len(self.specs))
             ]
             self.injected.clear()
+            self.injected_delay_ms = 0.0

@@ -64,6 +64,8 @@ class Profiler:
         self.transfers: list[TransferRecord] = []
         self.sorts: list[SortRecord] = []
         self.pinned_alloc_ms: float = 0.0
+        #: injected latency (slowdown faults) billed to this device
+        self.stall_ms: float = 0.0
 
     def record_kernel(self, rec: KernelRecord) -> None:
         with self._lock:
@@ -80,6 +82,11 @@ class Profiler:
     def record_pinned_alloc(self, ms: float) -> None:
         with self._lock:
             self.pinned_alloc_ms += ms
+
+    def record_stall(self, ms: float) -> None:
+        """Bill injected latency (a ``slowdown`` fault) to the device."""
+        with self._lock:
+            self.stall_ms += ms
 
     # ------------------------------------------------------------------
     # aggregation
@@ -107,12 +114,14 @@ class Profiler:
         return sum(s.modeled_ms for s in self.sorts)
 
     def total_device_ms(self) -> float:
-        """Serialized device milliseconds (kernels + sorts + transfers)."""
+        """Serialized device milliseconds (kernels + sorts + transfers +
+        injected stalls)."""
         return (
             self.kernel_time_ms()
             + self.sort_time_ms()
             + self.transfer_time_ms()
             + self.pinned_alloc_ms
+            + self.stall_ms
         )
 
     def counters(self, name: Optional[str] = None) -> KernelCounters:
@@ -128,6 +137,7 @@ class Profiler:
             self.transfers.clear()
             self.sorts.clear()
             self.pinned_alloc_ms = 0.0
+            self.stall_ms = 0.0
 
     def summary(self) -> dict:
         """Flat dict of headline metrics (for bench reports)."""
@@ -142,5 +152,6 @@ class Profiler:
             "h2d_bytes": self.transfer_bytes("h2d"),
             "d2h_bytes": self.transfer_bytes("d2h"),
             "pinned_alloc_ms": self.pinned_alloc_ms,
+            "stall_ms": self.stall_ms,
             "total_device_ms": self.total_device_ms(),
         }

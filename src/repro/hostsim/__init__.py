@@ -13,6 +13,7 @@ with real cores.
 """
 
 from repro.hostsim.multidevice import DeviceSchedule, schedule_devices
+from repro.hostsim.queueing import WorkerInterval, WorkerPool
 from repro.hostsim.scheduler import (
     PipelineSchedule,
     Schedule,
@@ -27,4 +28,6 @@ __all__ = [
     "Schedule",
     "PipelineSchedule",
     "DeviceSchedule",
+    "WorkerInterval",
+    "WorkerPool",
 ]

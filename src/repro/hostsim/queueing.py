@@ -1,0 +1,90 @@
+"""Virtual-clock worker pool for the long-lived serving layer.
+
+The batch schedulers in :mod:`repro.hostsim.scheduler` take a complete
+task list up front; a *service* admits requests one at a time, at
+arrival, and must answer "when could this start?" before deciding
+whether to run it at all (admission control, deadline fitting,
+degradation — :mod:`repro.service`).  :class:`WorkerPool` is the
+incremental counterpart: a min-heap of per-worker free instants on a
+virtual millisecond clock, advanced by modeled execution times — never
+by wall clock — so every serving decision is deterministic.
+
+The two-phase API mirrors how admission works: ``peek_start`` quotes
+the earliest start for a request arriving *now* (the quote drives the
+deadline/degrade decision), and ``commit`` books the chosen duration
+onto the earliest-free worker.  Calls must alternate per decision, which
+is exactly the shape of the single-threaded event loop driving it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+__all__ = ["WorkerInterval", "WorkerPool"]
+
+
+@dataclass(frozen=True)
+class WorkerInterval:
+    """One committed busy interval (for utilization reporting)."""
+
+    worker: int
+    start_ms: float
+    end_ms: float
+
+
+class WorkerPool:
+    """``n_workers`` identical workers on a shared virtual clock."""
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        self._free: list[tuple[float, int]] = [
+            (0.0, w) for w in range(self.n_workers)
+        ]
+        heapq.heapify(self._free)
+        self.intervals: list[WorkerInterval] = []
+
+    def peek_start(self, now_ms: float) -> float:
+        """Earliest instant a request arriving at ``now_ms`` could start."""
+        return max(float(now_ms), self._free[0][0])
+
+    def commit(self, start_ms: float, duration_ms: float) -> int:
+        """Book ``duration_ms`` on the earliest-free worker; returns its id.
+
+        ``start_ms`` must be at least the quoted :meth:`peek_start` for
+        the same decision (the pool cannot travel back in time).
+        """
+        if duration_ms < 0:
+            raise ValueError("duration_ms must be non-negative")
+        free_ms, worker = self._free[0]
+        if start_ms < free_ms:
+            raise ValueError(
+                f"start {start_ms} predates worker {worker}'s free instant {free_ms}"
+            )
+        heapq.heapreplace(self._free, (float(start_ms) + float(duration_ms), worker))
+        self.intervals.append(
+            WorkerInterval(
+                worker=worker,
+                start_ms=float(start_ms),
+                end_ms=float(start_ms) + float(duration_ms),
+            )
+        )
+        return worker
+
+    @property
+    def busy_ms(self) -> float:
+        """Total committed busy time across workers."""
+        return sum(iv.end_ms - iv.start_ms for iv in self.intervals)
+
+    @property
+    def makespan_ms(self) -> float:
+        """Last committed end instant (0 with nothing committed)."""
+        return max((iv.end_ms for iv in self.intervals), default=0.0)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of ``n_workers`` x makespan (1.0 when idle)."""
+        denom = self.makespan_ms * self.n_workers
+        return self.busy_ms / denom if denom else 1.0

@@ -64,3 +64,62 @@ class TestValidation:
         assert res.build_s > 0
         assert res.cluster_s > 0
         assert res.total_s >= res.build_s
+
+
+class TestThreadsModeFailureCapture:
+    """A poisoned variant must not take down the surviving threads'
+    results (mode="threads"); simulate mode stays strict."""
+
+    def _poisoned_hybrid(self, monkeypatch, bad_minpts):
+        h = HybridDBSCAN()
+        orig = h.cluster_table
+
+        def cluster_table(grid, table, minpts, **kw):
+            if minpts == bad_minpts:
+                raise RuntimeError(f"poisoned minpts={minpts}")
+            return orig(grid, table, minpts, **kw)
+
+        monkeypatch.setattr(h, "cluster_table", cluster_table)
+        return h
+
+    def test_survivors_returned_with_typed_error(
+        self, monkeypatch, blobs_points
+    ):
+        from repro.core import ReuseVariantError
+
+        h = self._poisoned_hybrid(monkeypatch, bad_minpts=4)
+        res = cluster_with_reuse(
+            blobs_points, 0.5, [2, 4, 8], n_threads=3, mode="threads",
+            keep_labels=True, hybrid=h,
+        )
+        assert res.failed_minpts == [4]
+        by_minpts = {o.minpts: o for o in res.outcomes}
+        bad = by_minpts[4]
+        assert not bad.ok
+        assert isinstance(bad.error, ReuseVariantError)
+        assert bad.error.minpts == 4
+        assert isinstance(bad.error.cause, RuntimeError)
+        assert bad.labels is None and bad.n_clusters == 0
+        # survivors match independent fits
+        for m in (2, 8):
+            assert by_minpts[m].ok
+            fit = HybridDBSCAN().fit(blobs_points, 0.5, m)
+            np.testing.assert_array_equal(by_minpts[m].labels, fit.labels)
+
+    def test_single_thread_threads_mode_also_captures(
+        self, monkeypatch, blobs_points
+    ):
+        h = self._poisoned_hybrid(monkeypatch, bad_minpts=2)
+        res = cluster_with_reuse(
+            blobs_points, 0.5, [2, 4], n_threads=1, mode="threads", hybrid=h
+        )
+        assert res.failed_minpts == [2]
+        assert res.outcomes[1].ok
+
+    def test_simulate_mode_stays_strict(self, monkeypatch, blobs_points):
+        h = self._poisoned_hybrid(monkeypatch, bad_minpts=4)
+        with pytest.raises(RuntimeError, match="poisoned"):
+            cluster_with_reuse(
+                blobs_points, 0.5, [2, 4, 8], n_threads=3, mode="simulate",
+                hybrid=h,
+            )

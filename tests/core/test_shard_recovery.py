@@ -379,3 +379,40 @@ class TestRecoveryProperty:
         assert np.array_equal(
             np.sort(np.unique(res.labels)), np.sort(np.unique(ref))
         )
+
+
+# ----------------------------------------------------------------------
+# slowdown injection through the shard fault factory
+# ----------------------------------------------------------------------
+class TestShardSlowdown:
+    def test_slowdown_bills_stall_without_changing_labels(self):
+        """A latency-only fault wired through make_shard_fault_factory:
+        the sharded run stays bit-identical and retry-free, but the
+        slowed shards' devices bill injected stall ms."""
+        pts = _pts(50, n=400)
+        eps, minpts = 0.07, 4
+        ref = _reference(pts, eps, minpts)
+        base = make_shard_fault_factory(
+            [FaultSpec("slowdown", times=None, delay_ms=4.0)],
+            tiles=[(0, 0)],
+        )
+        handed_out = []
+
+        def factory(shard):
+            inj = base(shard)
+            if inj is not None:
+                handed_out.append(inj)
+            return inj
+
+        res = cluster_sharded(
+            pts, eps, minpts,
+            config=ShardConfig(
+                shards_x=2, shards_y=2, fault_factory=factory,
+            ),
+        )
+        assert np.array_equal(res.labels, ref)
+        # latency is not a failure: no retries, no fallback devices
+        assert res.recovery.fallback_placements == 0
+        assert res.recovery.shard_splits == 0
+        assert len(handed_out) == 1  # only tile (0, 0), generation 0
+        assert handed_out[0].injected_delay_ms > 0

@@ -271,3 +271,77 @@ class TestResetRestoresRng:
         inj.reset()
         assert seq(inj) == fresh
         assert inj.injected["transfer"] == sum(fresh)
+
+
+class TestSlowdown:
+    """The non-failure fault kind: injected latency on the virtual clock
+    (no wall-clock sleep — modeled ms only)."""
+
+    def test_spec_requires_positive_delay(self):
+        with pytest.raises(ValueError):
+            FaultSpec("slowdown")  # delay_ms defaults to 0
+        with pytest.raises(ValueError):
+            FaultSpec("slowdown", delay_ms=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec("transfer", delay_ms=5.0)  # only slowdown takes it
+
+    def test_check_returns_delay_instead_of_raising(self):
+        inj = FaultInjector.slowdown(7.5, times=2)
+        assert inj.check("slowdown") == 7.5
+        assert inj.check("slowdown") == 7.5
+        assert inj.check("slowdown") == 0.0  # times exhausted
+        assert inj.injected_delay_ms == 15.0
+        assert inj.injected["slowdown"] == 2
+
+    def test_failure_kinds_still_return_zero(self):
+        inj = FaultInjector([FaultSpec("transfer", times=1)])
+        with pytest.raises(TransferError):
+            inj.check("transfer")
+        assert inj.check("transfer") == 0.0
+
+    def test_device_bills_stall_into_modeled_time(self, rng):
+        pts = rng.normal(size=(64, 2))
+        from repro.core import HybridDBSCAN
+
+        base = Device()
+        HybridDBSCAN(base).fit(pts, 0.5, 4)
+        clean_ms = base.profiler.total_device_ms()
+
+        inj = FaultInjector.slowdown(3.0, times=None)
+        slow_dev = Device(faults=inj)
+        HybridDBSCAN(slow_dev).fit(pts, 0.5, 4)
+        slow_ms = slow_dev.profiler.total_device_ms()
+        stall = slow_dev.profiler.stall_ms
+        assert stall > 0
+        assert stall == pytest.approx(inj.injected_delay_ms)
+        assert slow_ms == pytest.approx(clean_ms + stall)
+        assert slow_dev.profiler.summary()["stall_ms"] == pytest.approx(stall)
+
+    def test_slowdown_does_not_change_labels(self, rng):
+        pts = rng.normal(size=(64, 2))
+        from repro.core import HybridDBSCAN
+
+        clean = HybridDBSCAN(Device()).fit(pts, 0.5, 4)
+        slow = HybridDBSCAN(
+            Device(faults=FaultInjector.slowdown(5.0, times=None))
+        ).fit(pts, 0.5, 4)
+        assert np.array_equal(clean.labels, slow.labels)
+
+    def test_probabilistic_slowdown_is_seeded(self):
+        def total(seed):
+            inj = FaultInjector.slowdown(
+                2.0, times=None, probability=0.5, seed=seed
+            )
+            for _ in range(40):
+                inj.check("slowdown")
+            return inj.injected_delay_ms
+
+        assert total(3) == total(3)
+        assert 0.0 < total(3) < 80.0
+
+    def test_reset_clears_injected_delay(self):
+        inj = FaultInjector.slowdown(2.0)
+        inj.check("slowdown")
+        inj.reset()
+        assert inj.injected_delay_ms == 0.0
+        assert inj.check("slowdown") == 2.0  # stream replays from the seed

@@ -272,3 +272,65 @@ class TestParser:
     def test_missing_file(self, capsys, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["cluster", str(tmp_path / "nope.npy"), "--eps", "0.5"])
+
+
+class TestServe:
+    def test_basic_trace(self, capsys, points_file):
+        code, data = run_json(
+            capsys,
+            [
+                "serve", points_file, "--requests", "12",
+                "--eps", "0.5", "0.7", "--minpts", "4", "8",
+                "--interarrival-ms", "50",
+            ],
+        )
+        assert code == 0
+        assert data["requests"] == 12
+        assert data["exact"] + data["degraded"] + data["rejected"] == 12
+        assert data["cache_hit_rate"] > 0
+        assert data["sanitizer_clean"] is True
+
+    def test_faulted_overload_trace_exits_clean(self, capsys, points_file):
+        code, data = run_json(
+            capsys,
+            [
+                "serve", points_file, "--requests", "16",
+                "--eps", "0.5", "--minpts", "4",
+                "--interarrival-ms", "0.5", "--deadline-ms", "25",
+                "--tenants", "2", "--bump-every", "5",
+                "--inject-transfer-every", "4",
+                "--inject-slowdown-ms", "2", "--slowdown-every", "3",
+                "--sanitize", "--responses",
+            ],
+        )
+        assert code == 0  # typed outcomes only, sanitizer clean
+        assert data["requests"] == 16
+        assert len(data["responses"]) == 16
+        for r in data["responses"]:
+            assert r["status"] in ("exact", "degraded", "rejected")
+            if r["status"] == "rejected":
+                assert r["error"]
+
+    def test_deterministic_per_seed(self, capsys, points_file):
+        argv = [
+            "serve", points_file, "--requests", "10",
+            "--eps", "0.5", "--minpts", "4", "8",
+            "--interarrival-ms", "1", "--deadline-ms", "40",
+            "--inject-transfer-every", "3", "--seed", "9",
+        ]
+        _, a = run_json(capsys, argv)
+        _, b = run_json(capsys, argv)
+        assert a == b
+
+    def test_no_degrade_rejects_instead(self, capsys, points_file):
+        code, data = run_json(
+            capsys,
+            [
+                "serve", points_file, "--requests", "12",
+                "--eps", "0.5", "--minpts", "4",
+                "--interarrival-ms", "0.1", "--deadline-ms", "5",
+                "--no-degrade",
+            ],
+        )
+        assert code == 0
+        assert data["degraded"] == 0

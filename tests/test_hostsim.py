@@ -305,3 +305,51 @@ class TestEndToEndModes:
             MultiClusterPipeline().run(
                 blobs_points, VariantSet.eps_sweep([0.3]), mode="mpi"
             )
+
+
+class TestWorkerPool:
+    def test_quotes_now_when_idle(self):
+        from repro.hostsim import WorkerPool
+
+        pool = WorkerPool(2)
+        assert pool.peek_start(5.0) == 5.0
+
+    def test_queues_when_saturated(self):
+        from repro.hostsim import WorkerPool
+
+        pool = WorkerPool(1)
+        w0 = pool.commit(0.0, 10.0)
+        assert w0 == 0
+        # worker busy until 10: arrival at 3 queues until then
+        assert pool.peek_start(3.0) == 10.0
+        pool.commit(10.0, 5.0)
+        assert pool.peek_start(3.0) == 15.0
+
+    def test_two_workers_interleave(self):
+        from repro.hostsim import WorkerPool
+
+        pool = WorkerPool(2)
+        pool.commit(0.0, 10.0)
+        assert pool.peek_start(1.0) == 1.0  # second worker free
+        pool.commit(1.0, 10.0)
+        assert pool.peek_start(2.0) == 10.0  # both busy now
+
+    def test_commit_validates(self):
+        from repro.hostsim import WorkerPool
+
+        pool = WorkerPool(1)
+        with pytest.raises(ValueError):
+            pool.commit(0.0, -1.0)
+        pool.commit(5.0, 1.0)
+        with pytest.raises(ValueError):
+            pool.commit(4.0, 1.0)  # before the quoted free instant
+
+    def test_accounting(self):
+        from repro.hostsim import WorkerPool
+
+        pool = WorkerPool(2)
+        pool.commit(0.0, 4.0)
+        pool.commit(0.0, 8.0)
+        assert pool.busy_ms == pytest.approx(12.0)
+        assert pool.makespan_ms == pytest.approx(8.0)
+        assert pool.utilization == pytest.approx(12.0 / 16.0)
