@@ -43,6 +43,7 @@ __all__ = [
     "KernelInvariants",
     "AccessRecord",
     "AbsintResult",
+    "TripCount",
     "interpret_kernel",
     "parse_bound",
 ]
@@ -654,12 +655,43 @@ class AccessRecord:
 
 
 @dataclass
+class TripCount:
+    """Widening-safe upper bound on one loop's iteration count.
+
+    ``count`` is a :class:`Lin` over the contract symbols (params,
+    ``bdim``/``gdim``, buffer lengths) bounding how many times the loop
+    body runs *per execution of the loop statement*; ``None`` means the
+    interpreter could not bound it (KC007 reports these).  Evaluators
+    must clamp at zero — a sound upper bound may go negative for
+    zero-trip bindings (``stop < start``).
+    """
+
+    line: int
+    kind: str  # "range" | "unrolled" | "iterable" | "while"
+    count: Optional[Lin]
+    detail: str = ""
+
+    @property
+    def bounded(self) -> bool:
+        return self.count is not None
+
+    def render(self) -> str:
+        bound = self.count.render() if self.count is not None else "unbounded"
+        return f"L{self.line} {self.kind}: {bound}"
+
+
+@dataclass
 class AbsintResult:
     """Everything the interpreter learned about one device function."""
 
     accesses: list[AccessRecord]
     node_envs: dict[int, dict[str, str]]
     symbols: dict[str, str]
+    #: CFG loop-head node id -> per-execution trip-count bound
+    loop_trips: dict[int, TripCount] = field(default_factory=dict)
+    #: raw final symbol ranges (contract + fresh row symbols) — lets
+    #: downstream passes resolve fresh symbols out of the trip bounds
+    ranges: dict[str, Interval] = field(default_factory=dict)
 
     def unproved(self) -> list[AccessRecord]:
         return [a for a in self.accesses if a.status == "unproved"]
@@ -721,6 +753,7 @@ class _Interp:
         self.row_memo: dict[tuple[str, str], tuple[str, frozenset[str]]] = {}
         self.accesses: list[AccessRecord] = []
         self.node_envs: dict[int, dict[str, str]] = {}
+        self.loop_trips: dict[int, TripCount] = {}
         self.recording = True
         self._sym_n = 0
         self._rows_by_lo = {r.lo: r for r in self.inv.rows}
@@ -778,6 +811,8 @@ class _Interp:
             accesses=self._merged_accesses(),
             node_envs=self.node_envs,
             symbols={s: r.render() for s, r in sorted(self.ranges.items())},
+            loop_trips=self.loop_trips,
+            ranges=dict(self.ranges),
         )
 
     def _merged_accesses(self) -> list[AccessRecord]:
@@ -843,6 +878,25 @@ class _Interp:
         if set(a) != set(b):
             return False
         return all(a[k].same(b[k]) for k in a)
+
+    def _record_trip(
+        self,
+        st: ast.stmt,
+        kind: str,
+        count: Optional[Lin],
+        detail: str = "",
+    ) -> None:
+        """Record a loop-head trip-count bound (outermost final walk
+        only — fixpoint passes run with ``recording`` off, exactly like
+        access recording)."""
+        if not self.recording:
+            return
+        nid = self._node_of.get(id(st))
+        if nid is None:
+            return
+        self.loop_trips[nid] = TripCount(
+            line=st.lineno, kind=kind, count=count, detail=detail
+        )
 
     def _record_node(self, stmt: ast.stmt, env: Env) -> None:
         if not self.recording:
@@ -1545,6 +1599,7 @@ class _Interp:
             return self._exec_range(st, env)
         # Unknown iterable: bind target to top and run a fixpoint.
         self._eval(it, env)
+        self._record_trip(st, "iterable", None, "iterable length unknown")
         return self._loop_fixpoint(
             st, env, target_val=AbsVal.top(), zero_trip=dict(env)
         )
@@ -1567,6 +1622,7 @@ class _Interp:
         assert isinstance(st.iter, (ast.Tuple, ast.List))
         values = self._literal_elts(st.iter)
         assert values is not None
+        self._record_trip(st, "unrolled", Lin.of(len(values)))
         breaks: list[Env] = []
         cur: Optional[Env] = env
         for e, v in zip(st.iter.elts, values):
@@ -1610,6 +1666,18 @@ class _Interp:
             )
         else:
             t_rng = Interval.top()
+        # Trip-count bound: for step >= 1, iterations <= stop.hi -
+        # start.lo (sound for any larger step too; constant-step
+        # division is left to the cost contracts).
+        if positive and stop.rng.hi is not None and start.rng.lo is not None:
+            self._record_trip(st, "range", stop.rng.hi - start.rng.lo)
+        else:
+            why = (
+                "step not provably positive"
+                if not positive
+                else "range endpoint unbounded"
+            )
+            self._record_trip(st, "range", None, why)
         t_a = (
             _uniform()
             if _is_uniform(start.a) and _is_uniform(stop.a) and _is_uniform(step.a)
@@ -1668,6 +1736,7 @@ class _Interp:
                 self._bind_loop_target(t, AbsVal.top(), env)
 
     def _exec_while(self, st: ast.While, env: Env) -> _Flow:
+        self._record_trip(st, "while", None, "while loops are not counted")
         head: Env = dict(env)
         breaks: list[Env] = []
         rec = self.recording

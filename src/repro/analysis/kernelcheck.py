@@ -82,12 +82,14 @@ from typing import Iterable, Optional, Sequence, TypeGuard
 import numpy as np
 
 from repro.analysis.absint import (
+    AbsintResult,
     AccessRecord,
     ContractError,
     KernelInvariants,
     interpret_kernel,
 )
 from repro.analysis.cfg import CFG, CFGNode, build_cfg, compute_liveness
+from repro.analysis.costmodel import KernelCostModel, derive_cost_from_result
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.launch import Kernel
 from repro.gpusim.occupancy import OccupancyLimits, occupancy
@@ -210,6 +212,8 @@ class KernelReport:
     register_estimate: Optional[int] = None
     #: KC005/KC003 per-access table (AccessRecord dicts)
     accesses: list[dict] = field(default_factory=list)
+    #: KC007 symbolic cost model report (None = no device code)
+    cost: Optional[dict] = None
 
     @property
     def errors(self) -> list[Finding]:
@@ -237,6 +241,7 @@ class KernelReport:
             "findings": [f.as_dict() for f in self.findings],
             "register_estimate": self.register_estimate,
             "accesses": self.accesses,
+            "cost": self.cost,
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -935,7 +940,7 @@ def _pass_kc005(
     df: _DeviceFn,
     kernel_name: str,
     invariants: Optional[KernelInvariants],
-) -> tuple[list[Finding], list[AccessRecord]]:
+) -> tuple[list[Finding], list[AccessRecord], Optional[AbsintResult]]:
     """Run the abstract interpreter; unproved accesses become findings.
 
     Shared-buffer accesses are always checked against their declared
@@ -957,6 +962,7 @@ def _pass_kc005(
                 )
             ],
             [],
+            None,
         )
     findings = [
         Finding(
@@ -971,7 +977,7 @@ def _pass_kc005(
         )
         for a in result.unproved()
     ]
-    return findings, result.accesses
+    return findings, result.accesses, result
 
 
 # ======================================================================
@@ -1024,6 +1030,53 @@ def _pass_kc006(
             )
         )
     return findings, estimate
+
+
+# ======================================================================
+# KC007: symbolic static cost model
+# ======================================================================
+def _pass_kc007(
+    df: _DeviceFn, kernel: Kernel, result: Optional[AbsintResult]
+) -> tuple[list[Finding], Optional[KernelCostModel]]:
+    """Derive the symbolic cost model and lift its issues into findings.
+
+    Unbounded loops (no trip bound and no contract estimate) are
+    ``error``; a ``cost_contract()`` that declares a counter bound below
+    the derived worst case — a lying contract — is ``warn``.  Skipped
+    when KC005 already rejected the value contract (no interpretation
+    to cost).
+    """
+    if result is None:
+        return [], None
+    try:
+        contract = kernel.cost_contract()
+    except ValueError as exc:
+        return (
+            [
+                Finding(
+                    "KC007",
+                    "warn",
+                    kernel.name,
+                    0,
+                    f"unusable cost_contract(): {exc}",
+                )
+            ],
+            None,
+        )
+    cost = derive_cost_from_result(
+        kernel_name=kernel.name,
+        fn=df.fn,
+        cfg=df.cfg,
+        result=result,
+        contract=contract,
+        registers_per_thread=kernel.registers_per_thread,
+        kernel=kernel,
+    )
+    findings = [
+        Finding("KC007", issue.severity, kernel.name, issue.line, issue.message)
+        for issue in cost.issues
+    ]
+    return findings, cost
 
 
 # ======================================================================
@@ -1170,6 +1223,7 @@ def analyze_kernel(
     proxy: Optional[int] = None
     estimate: Optional[int] = None
     accesses: list[AccessRecord] = []
+    cost: Optional[KernelCostModel] = None
 
     if df is not None:
         barriers = len(df.cfg.barriers())
@@ -1178,10 +1232,14 @@ def analyze_kernel(
         findings += _pass_kc001(df, kernel.name)
         findings += _pass_kc002(df, kernel.name)
         findings += _pass_kc003(df, kernel.name)
-        kc5, accesses = _pass_kc005(df, kernel.name, kernel.value_invariants())
+        kc5, accesses, absres = _pass_kc005(
+            df, kernel.name, kernel.value_invariants()
+        )
         findings += kc5
         kc6, estimate = _pass_kc006(df, kernel.name, kernel.registers_per_thread)
         findings += kc6
+        kc7, cost = _pass_kc007(df, kernel, absres)
+        findings += kc7
         for bd in block_dims:
             extracted = _static_shared_bytes(df, bd)
             static[bd] = extracted
@@ -1221,6 +1279,7 @@ def analyze_kernel(
         findings=findings,
         register_estimate=estimate,
         accesses=[a.to_dict() for a in accesses],
+        cost=cost.to_dict() if cost is not None else None,
     )
 
 
@@ -1345,6 +1404,15 @@ def render_text(reports: Sequence[KernelReport]) -> str:
                 f"registers: estimate {r.register_estimate} "
                 f"(declared {r.registers_per_thread})"
             )
+        if r.cost is not None:
+            state = "bounded" if r.cost["bounded"] else "UNBOUNDED"
+            busy = {
+                c: b
+                for c, b in r.cost["per_thread_bounds"].items()
+                if b not in (None, "0")
+            }
+            bits = ", ".join(f"{c} <= {b}" for c, b in sorted(busy.items()))
+            lines.append(f"  cost (KC007): {state}; per-thread {bits or 'zero'}")
         for f in r.findings:
             lines.append(f"  {f.render()}")
         if not r.findings:

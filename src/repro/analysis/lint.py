@@ -45,6 +45,15 @@ keep the simulation honest.  Three rules:
     ``len``, ``range``, ``bool``, ``enumerate``), and the
     ``kernelapi.device_array`` unwrap helper are allowed.
 
+``GS006`` — device loop bounds are contracted
+    A ``for ... in range(...)`` inside ``device_code`` whose bound
+    names a kernel parameter the class's ``value_invariants()`` does
+    not cover leaves the abstract interpreter no way to bound the trip
+    count — the KC007 cost pass will report the kernel unbounded.
+    Constant bounds and ``ctx.*`` geometry are exempt, as are classes
+    whose ``value_invariants()`` body is a ``raise`` stub (abstract
+    bases declare no contract on purpose).
+
 Run as ``python -m repro.analysis.lint [paths...] [--format
 text|json|github]`` (exit code 1 on findings); file discovery skips
 ``__pycache__`` and ``*.egg-info`` artifacts.  CI runs it next to the
@@ -240,6 +249,10 @@ class _Linter(ast.NodeVisitor):
         self._check_gs005(node)
         self.generic_visit(node)
 
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_gs006(node)
+        self.generic_visit(node)
+
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._note_args(node)
         self.generic_visit(node)
@@ -365,6 +378,77 @@ class _Linter(ast.NodeVisitor):
                     f"math intrinsics, arithmetic builtins, and "
                     f"kernelapi.device_array",
                 )
+
+    # -- GS006 ----------------------------------------------------------
+    def _check_gs006(self, cls: ast.ClassDef) -> None:
+        """Flag ``device_code`` range loops whose bound names a kernel
+        parameter the class's ``value_invariants()`` does not cover."""
+        methods = {
+            m.name: m
+            for m in cls.body
+            if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        dc = methods.get("device_code")
+        if dc is None or not isinstance(dc, ast.FunctionDef):
+            return
+        inv = methods.get("value_invariants")
+        #: every string literal inside value_invariants() — the lengths/
+        #: scalars/elements dict keys and RowRange buffer names; loose on
+        #: purpose (a lint must never false-positive on a covered name)
+        covered: set[str] = set()
+        if inv is not None:
+            for stmt in inv.body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Raise):
+                        # abstract stub: the contract is absent on purpose
+                        return
+                    if isinstance(sub, ast.Constant) and isinstance(
+                        sub.value, str
+                    ):
+                        covered.add(sub.value)
+        args = dc.args
+        params = {
+            a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        }
+        params.discard("self")
+        # the ctx parameter (geometry like ctx.block_dim is always bounded)
+        positional = [a.arg for a in (*args.posonlyargs, *args.args)]
+        kw_names = [a.arg for a in args.kwonlyargs]
+        if "ctx" in positional + kw_names:
+            params.discard("ctx")
+        else:
+            non_self = [a for a in positional if a != "self"]
+            if non_self:
+                params.discard(non_self[0])
+        for body_stmt in dc.body:
+            for sub in ast.walk(body_stmt):
+                if not isinstance(sub, ast.For):
+                    continue
+                it = sub.iter
+                if not (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Name)
+                    and it.func.id == "range"
+                ):
+                    continue
+                names = {
+                    n.id
+                    for arg in it.args
+                    for n in ast.walk(arg)
+                    if isinstance(n, ast.Name)
+                }
+                uncovered = sorted((names & params) - covered)
+                if uncovered:
+                    self._finding(
+                        "GS006",
+                        sub,
+                        f"device loop bound uses parameter(s) "
+                        f"{', '.join(repr(u) for u in uncovered)} not "
+                        f"covered by value_invariants(); without a "
+                        f"contract the abstract interpreter cannot bound "
+                        f"the trip count (KC007 reports the kernel "
+                        f"unbounded)",
+                    )
 
     # -- GS004 ----------------------------------------------------------
     def _check_gs004(self, node: ast.Call) -> None:

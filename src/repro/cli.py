@@ -296,6 +296,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--block-dims", type=int, nargs="+", default=None, metavar="BD",
         help="block sizes the static occupancy table is evaluated at",
     )
+
+    ac = asub.add_parser(
+        "cost",
+        help="KC007 symbolic cost models: per-kernel worst-case counter "
+             "polynomials (trip counts from abstract interpretation × "
+             "per-access transaction counts × divergence), plus the "
+             "cost-ranked configuration lattice on a nominal workload",
+    )
+    ac.add_argument("--format", choices=["text", "json"], default="text")
+    ac.add_argument(
+        "--top-k", type=int, default=None, metavar="K", dest="top_k",
+        help="cap the surviving-configuration frontier at K entries",
+    )
+
+    t = sub.add_parser(
+        "tune",
+        help="launch-configuration autotuner; currently static pruning "
+             "only (--prune-only): rank the kernel × block-dim lattice "
+             "by the KC007 cost model on the dataset's measured "
+             "workload statistics and eliminate dominated configs",
+    )
+    common(t)
+    t.add_argument("--eps", type=float, required=True,
+                   help="eps the grid index (and hence the workload "
+                        "statistics) is built at")
+    t.add_argument("--prune-only", action="store_true", dest="prune_only",
+                   help="static cost-model pruning without measured "
+                        "search (required: measured search is not yet "
+                        "implemented)")
+    t.add_argument("--safety", type=float, default=3.0,
+                   help="cost-model calibration margin; a config is "
+                        "eliminated only when predicted/safety still "
+                        "exceeds best*safety")
+    t.add_argument(
+        "--top-k", type=int, default=None, metavar="K", dest="top_k",
+        help="cap the surviving-configuration frontier at K entries",
+    )
+    t.add_argument(
+        "--block-dims", type=int, nargs="+", default=None, metavar="BD",
+        help="block sizes in the configuration lattice",
+    )
     return p
 
 
@@ -636,7 +677,64 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_analyze_cost(args) -> int:
+    from repro.analysis.costmodel import derive_cost
+    from repro.analysis.tuner import NOMINAL_STATS, prune_configs
+    from repro.kernels import shipped_kernels
+
+    models = [m for k in shipped_kernels() if (m := derive_cost(k)) is not None]
+    prune = prune_configs(NOMINAL_STATS, top_k=args.top_k)
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "kernels": [m.to_dict() for m in models],
+                "pruning": prune.to_dict(),
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for m in models:
+            print("\n".join(m.render()))
+            print()
+        print("config pruning (nominal workload "
+              f"n={NOMINAL_STATS.n}, r_cell={NOMINAL_STATS.r_cell:g}):")
+        for r in prune.ranked:
+            ms = f"{r.predicted_ms:.6f}" if r.feasible else "inf"
+            mark = "x" if r.eliminated else "*" if r in prune.frontier else " "
+            print(f"  {mark} {r.config.label:12s} {ms:>12} ms  {r.reason}")
+    # unbounded shipped kernels are a gate failure
+    return 0 if all(m.bounded for m in models) else 1
+
+
+def _cmd_tune(args) -> int:
+    if not args.prune_only:
+        print("tune: measured search is not yet implemented; "
+              "re-run with --prune-only", file=sys.stderr)
+        return 2
+    from repro.analysis.tuner import (
+        DEFAULT_TUNE_BLOCK_DIMS,
+        WorkloadStats,
+        prune_configs,
+    )
+    from repro.index import GridIndex
+
+    pts = _load(args.points, args.scale)
+    grid = GridIndex.build(pts, args.eps)
+    stats = WorkloadStats.from_grid(grid)
+    block_dims = tuple(args.block_dims) if args.block_dims else DEFAULT_TUNE_BLOCK_DIMS
+    prune = prune_configs(
+        stats, block_dims=block_dims, safety=args.safety, top_k=args.top_k
+    )
+    payload = prune.to_dict()
+    best = prune.best
+    payload["best"] = best.config.label if best is not None else None
+    _emit(payload, args.json)
+    return 0 if best is not None else 1
+
+
 def _cmd_analyze(args) -> int:
+    if args.target == "cost":
+        return _cmd_analyze_cost(args)
     from repro.analysis.kernelcheck import (
         DEFAULT_BLOCK_DIMS,
         SEVERITY_ORDER,
@@ -667,6 +765,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "serve": _cmd_serve,
     "analyze": _cmd_analyze,
+    "tune": _cmd_tune,
 }
 
 

@@ -1,0 +1,115 @@
+"""The single source of truth for the device arithmetic constants.
+
+Every latency/bandwidth/residency number the simulated runtime uses was
+historically declared twice — once in :mod:`repro.gpusim.costmodel` and
+once in :mod:`repro.gpusim.occupancy` — and the static cost model
+(:mod:`repro.analysis.costmodel`, KC007) would have made a third copy.
+This module holds each constant exactly once; the runtime dataclasses
+take their *defaults* from here and the static analyzer imports the same
+names, so a drifted constant is an import error or a visible diff in one
+file, never a silent skew between predicted and measured cost.
+
+The module deliberately imports nothing from :mod:`repro.gpusim` (it
+sits below :mod:`~repro.gpusim.costmodel`, which sits below
+:mod:`~repro.gpusim.device`), so it can be imported from anywhere in the
+analysis layer without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+__all__ = [
+    "GMEM_RATE_PER_MS",
+    "SMEM_RATE_PER_MS",
+    "ATOMIC_RATE_PER_MS",
+    "LAUNCH_OVERHEAD_MS",
+    "BLOCK_OVERHEAD_MS",
+    "SYNC_OVERHEAD_MS",
+    "DIVERGENCE_PENALTY",
+    "PAGEABLE_BANDWIDTH_GBS",
+    "PINNED_BANDWIDTH_GBS",
+    "TRANSFER_LATENCY_MS",
+    "PINNED_ALLOC_MS_PER_MIB",
+    "SORT_RATE_PER_MS",
+    "DEFAULT_COMPUTE_RATE_PER_MS",
+    "CYCLES_PER_DISTANCE",
+    "MAX_THREADS_PER_SM",
+    "MAX_BLOCKS_PER_SM",
+    "REGISTERS_PER_SM",
+    "SHARED_MEM_PER_SM_BYTES",
+    "WARP_SIZE",
+    "MEM_LINE_BYTES",
+    "WORD_BYTES",
+    "compute_rate_per_ms",
+]
+
+# ---------------------------------------------------------------------------
+# cost-model rates and overheads (milliseconds / per-millisecond throughputs)
+# ---------------------------------------------------------------------------
+
+#: distance evaluations a generic device retires per millisecond (the
+#: spec-independent fallback; real devices derive via compute_rate_per_ms)
+DEFAULT_COMPUTE_RATE_PER_MS: Final[float] = 2.0e6
+#: global-memory transactions (4B) serviced per millisecond
+GMEM_RATE_PER_MS: Final[float] = 4.0e7
+#: shared-memory transactions per millisecond (~an order faster)
+SMEM_RATE_PER_MS: Final[float] = 4.0e8
+#: serialized atomic ops per millisecond
+ATOMIC_RATE_PER_MS: Final[float] = 1.0e7
+#: fixed kernel launch overhead
+LAUNCH_OVERHEAD_MS: Final[float] = 0.005
+#: per-block scheduling cost (drives GPUCalcShared's degradation)
+BLOCK_OVERHEAD_MS: Final[float] = 2.0e-5
+#: per-barrier cost, per block
+SYNC_OVERHEAD_MS: Final[float] = 1.0e-6
+#: penalty factor applied to divergent threads' compute
+DIVERGENCE_PENALTY: Final[float] = 1.0
+#: host<->device bandwidth for pageable memory (GB/s)
+PAGEABLE_BANDWIDTH_GBS: Final[float] = 3.0
+#: host<->device bandwidth for pinned memory (GB/s)
+PINNED_BANDWIDTH_GBS: Final[float] = 6.0
+#: per-transfer latency (ms)
+TRANSFER_LATENCY_MS: Final[float] = 0.01
+#: pinned allocation cost per MiB (ms) — pinning pages is expensive
+PINNED_ALLOC_MS_PER_MIB: Final[float] = 0.35
+#: key/value elements the device sort moves per millisecond
+SORT_RATE_PER_MS: Final[float] = 1.0e6
+
+#: cycles one lane spends on a fused 2-D distance test (DeviceSpec's
+#: compute-rate derivation and the static model's cycle conversion)
+CYCLES_PER_DISTANCE: Final[float] = 6.0
+
+# ---------------------------------------------------------------------------
+# per-SM residency limits (Kepler GK110, as in the K20c)
+# ---------------------------------------------------------------------------
+
+MAX_THREADS_PER_SM: Final[int] = 2048
+MAX_BLOCKS_PER_SM: Final[int] = 16
+REGISTERS_PER_SM: Final[int] = 65536
+SHARED_MEM_PER_SM_BYTES: Final[int] = 48 * 1024
+WARP_SIZE: Final[int] = 32
+
+# ---------------------------------------------------------------------------
+# memory-transaction geometry (KC003 / KC007 coalescing arithmetic)
+# ---------------------------------------------------------------------------
+
+#: global-memory transaction (cache line) width
+MEM_LINE_BYTES: Final[int] = 128
+#: the counter unit — counters are 4-byte-equivalent words
+WORD_BYTES: Final[int] = 4
+
+
+def compute_rate_per_ms(
+    sm_count: int, cores_per_sm: int, clock_mhz: float
+) -> float:
+    """Distance evaluations per millisecond for a device of this width.
+
+    ``lanes * cycles_per_ms / CYCLES_PER_DISTANCE`` — the same derivation
+    :meth:`repro.gpusim.device.DeviceSpec.cost_model` has always used,
+    now shared with the static model so predicted cycles and simulated
+    milliseconds are unit-convertible by construction.
+    """
+    width = sm_count * cores_per_sm  # parallel lanes
+    cycles_per_ms = clock_mhz * 1e3
+    return width * cycles_per_ms / CYCLES_PER_DISTANCE

@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.gpusim import constants as K
+
 __all__ = ["KernelCounters", "CostModel", "TransferCost"]
 
 
@@ -76,31 +78,31 @@ class CostModel:
     """
 
     #: distance evaluations the device retires per millisecond
-    compute_rate_per_ms: float = 2.0e6
+    compute_rate_per_ms: float = K.DEFAULT_COMPUTE_RATE_PER_MS
     #: global-memory transactions (4B) serviced per millisecond
-    gmem_rate_per_ms: float = 4.0e7
+    gmem_rate_per_ms: float = K.GMEM_RATE_PER_MS
     #: shared-memory transactions per millisecond (~an order faster)
-    smem_rate_per_ms: float = 4.0e8
+    smem_rate_per_ms: float = K.SMEM_RATE_PER_MS
     #: serialized atomic ops per millisecond
-    atomic_rate_per_ms: float = 1.0e7
+    atomic_rate_per_ms: float = K.ATOMIC_RATE_PER_MS
     #: fixed kernel launch overhead
-    launch_overhead_ms: float = 0.005
+    launch_overhead_ms: float = K.LAUNCH_OVERHEAD_MS
     #: per-block scheduling cost (drives GPUCalcShared's degradation)
-    block_overhead_ms: float = 2.0e-5
+    block_overhead_ms: float = K.BLOCK_OVERHEAD_MS
     #: per-barrier cost, per block
-    sync_overhead_ms: float = 1.0e-6
+    sync_overhead_ms: float = K.SYNC_OVERHEAD_MS
     #: penalty factor applied to divergent threads' compute
-    divergence_penalty: float = 1.0
+    divergence_penalty: float = K.DIVERGENCE_PENALTY
     #: host<->device bandwidth for pageable memory (GB/s)
-    pageable_bandwidth_gbs: float = 3.0
+    pageable_bandwidth_gbs: float = K.PAGEABLE_BANDWIDTH_GBS
     #: host<->device bandwidth for pinned memory (GB/s)
-    pinned_bandwidth_gbs: float = 6.0
+    pinned_bandwidth_gbs: float = K.PINNED_BANDWIDTH_GBS
     #: per-transfer latency (ms)
-    transfer_latency_ms: float = 0.01
+    transfer_latency_ms: float = K.TRANSFER_LATENCY_MS
     #: pinned allocation cost per MiB (ms) — pinning pages is expensive
-    pinned_alloc_ms_per_mib: float = 0.35
+    pinned_alloc_ms_per_mib: float = K.PINNED_ALLOC_MS_PER_MIB
     #: key/value elements the device sort moves per millisecond
-    sort_rate_per_ms: float = 1.0e6
+    sort_rate_per_ms: float = K.SORT_RATE_PER_MS
 
     def kernel_time_ms(self, c: KernelCounters, *, occupancy: float = 1.0) -> float:
         """Simulated execution time of a kernel launch.

@@ -21,6 +21,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.gpusim.constants import WARP_SIZE, compute_rate_per_ms
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.faults import FaultInjector
 from repro.gpusim.memory import (
@@ -53,16 +54,16 @@ class DeviceSpec:
     global_mem_bytes: int = 5 * 1024**3
     shared_mem_per_block_bytes: int = 48 * 1024
     max_threads_per_block: int = 1024
-    warp_size: int = 32
+    warp_size: int = WARP_SIZE
     copy_engines: int = 2
 
     def cost_model(self) -> CostModel:
         """Derive a :class:`CostModel` scaled to this device's width."""
-        width = self.sm_count * self.cores_per_sm  # parallel lanes
-        cycles_per_ms = self.clock_mhz * 1e3
-        # ~6 cycles per fused 2-D distance test across all lanes
-        compute = width * cycles_per_ms / 6.0
-        return CostModel(compute_rate_per_ms=compute)
+        return CostModel(
+            compute_rate_per_ms=compute_rate_per_ms(
+                self.sm_count, self.cores_per_sm, self.clock_mhz
+            )
+        )
 
 
 class Device:

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Literal, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.absint import KernelInvariants
+    from repro.analysis.costmodel import CostContract
 
 from repro.gpusim.costmodel import KernelCounters
 from repro.gpusim.device import Device
@@ -90,6 +91,20 @@ class Kernel:
         can prove every access in-bounds before any launch.  ``None``
         means "no contract": global accesses are reported as *assumed*
         rather than proved.
+        """
+        return None
+
+    def cost_contract(self) -> "Optional[CostContract]":
+        """Declared cost expectations for the static cost model (KC007).
+
+        Subclasses may return a
+        :class:`~repro.analysis.costmodel.CostContract` declaring
+        per-thread *counter bounds* (checked against the derived
+        worst-case — declaring below the derivation is a KC007 warning)
+        and *trip estimates* (average-case loop iteration counts used
+        for point predictions; the worst-case bound stays in force for
+        the soundness proof).  ``None`` means "no contract": the derived
+        worst case doubles as the point estimate.
         """
         return None
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.gpusim import constants as K
 from repro.gpusim.device import DeviceSpec
 
 __all__ = ["OccupancyLimits", "Occupancy", "occupancy"]
@@ -22,11 +23,11 @@ __all__ = ["OccupancyLimits", "Occupancy", "occupancy"]
 class OccupancyLimits:
     """Per-SM residency limits (Kepler GK110 defaults, as in the K20c)."""
 
-    max_threads_per_sm: int = 2048
-    max_blocks_per_sm: int = 16
-    registers_per_sm: int = 65536
-    shared_mem_per_sm_bytes: int = 48 * 1024
-    warp_size: int = 32
+    max_threads_per_sm: int = K.MAX_THREADS_PER_SM
+    max_blocks_per_sm: int = K.MAX_BLOCKS_PER_SM
+    registers_per_sm: int = K.REGISTERS_PER_SM
+    shared_mem_per_sm_bytes: int = K.SHARED_MEM_PER_SM_BYTES
+    warp_size: int = K.WARP_SIZE
 
     @classmethod
     def for_spec(cls, spec: DeviceSpec) -> "OccupancyLimits":

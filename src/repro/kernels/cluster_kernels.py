@@ -48,6 +48,7 @@ __all__ = ["BorderAttachKernel", "ClusterUnionFindKernel", "CoreFlagKernel"]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.absint import KernelInvariants
+    from repro.analysis.costmodel import CostContract
 
 
 class CoreFlagKernel(Kernel):
@@ -75,6 +76,17 @@ class CoreFlagKernel(Kernel):
                 "eligible": "n",
             },
             scalars={"n": (1, None), "minpts": (1, None)},
+        )
+
+    def cost_contract(self) -> "CostContract":
+        from repro.analysis.costmodel import CostContract
+
+        return CostContract(
+            counter_bounds={
+                "global_loads": "3",
+                "global_stores": "2",
+                "divergent_threads": "1",
+            },
         )
 
     def device_code(
@@ -179,6 +191,15 @@ class ClusterUnionFindKernel(Kernel):
             elements={"B": (0, "n-1"), "labels": (0, "n-1")},
             # core rows are non-empty (a core point neighbors itself)
             rows=(RowRange("t_min", "t_max", "B", empty=False),),
+        )
+
+    def cost_contract(self) -> "CostContract":
+        from repro.analysis.costmodel import CostContract
+
+        return CostContract(
+            counter_bounds={"global_loads": "3*m + 5", "atomics": "1"},
+            trip_estimates={"a": "r_row"},
+            stats={"r_row": "mean neighbor-table row length (m / n)"},
         )
 
     def device_code(
@@ -308,6 +329,15 @@ class BorderAttachKernel(Kernel):
             scalars={"n": (1, None), "m": (1, None)},
             elements={"B": (0, "n-1"), "labels": (0, "n-1")},
             rows=(RowRange("t_min", "t_max", "B"),),
+        )
+
+    def cost_contract(self) -> "CostContract":
+        from repro.analysis.costmodel import CostContract
+
+        return CostContract(
+            counter_bounds={"global_loads": "2*m + 4"},
+            trip_estimates={"a": "r_row"},
+            stats={"r_row": "mean neighbor-table row length (m / n)"},
         )
 
     def device_code(

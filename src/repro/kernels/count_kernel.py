@@ -28,6 +28,7 @@ __all__ = ["NeighborCountKernel", "sample_point_ids"]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.absint import KernelInvariants
+    from repro.analysis.costmodel import CostContract
 
 
 def sample_point_ids(n_points: int, fraction: float) -> np.ndarray:
@@ -77,6 +78,19 @@ class NeighborCountKernel(Kernel):
             },
             elements={"A": (0, "n-1"), "sample_ids": (0, "n-1")},
             rows=(RowRange("G_min", "G_max", "A"),),
+        )
+
+    def cost_contract(self) -> "CostContract":
+        from repro.analysis.costmodel import CostContract
+
+        return CostContract(
+            counter_bounds={
+                "atomics": "1",
+                "divergent_threads": "1",
+                "global_loads": "27*n + 20",
+            },
+            trip_estimates={"a": "r_cell"},
+            stats={"r_cell": "mean points per non-empty grid cell"},
         )
 
     def device_code(

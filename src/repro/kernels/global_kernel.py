@@ -28,6 +28,7 @@ __all__ = ["GPUCalcGlobal", "batch_point_ids"]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.absint import KernelInvariants
+    from repro.analysis.costmodel import CostContract
 
 
 def batch_point_ids(
@@ -82,6 +83,15 @@ class GPUCalcGlobal(Kernel):
             },
             elements={"A": (0, "n-1")},
             rows=(RowRange("G_min", "G_max", "A"),),
+        )
+
+    def cost_contract(self) -> "CostContract":
+        from repro.analysis.costmodel import CostContract
+
+        return CostContract(
+            counter_bounds={"divergent_threads": "2", "atomics": "18*n"},
+            trip_estimates={"a": "r_cell"},
+            stats={"r_cell": "mean points per non-empty grid cell"},
         )
 
     # ------------------------------------------------------------------

@@ -80,11 +80,15 @@ class HybridSelectKernel(Kernel):
     def with_static_hint(
         cls, dense_threshold: int | None = None, *, spec: DeviceSpec | None = None
     ) -> "HybridSelectKernel":
-        """Construct with the tie-break driven by kernelcheck's static
-        occupancy table for the target device spec."""
-        from repro.analysis.kernelcheck import ties_dense_hint
+        """Construct with the tie-break driven by the static cost model:
+        per block size, ties go dense only when the shared path's
+        predicted cost on a threshold-marginal workload is at most the
+        global path's (occupancy *and* barrier/block overheads, not
+        occupancy alone — see
+        :func:`repro.analysis.tuner.cost_tie_break_hint`)."""
+        from repro.analysis.tuner import cost_tie_break_hint
 
-        return cls(dense_threshold, occupancy_hint=ties_dense_hint(spec=spec))
+        return cls(dense_threshold, occupancy_hint=cost_tie_break_hint(spec=spec))
 
     def _ties_dense(self, block_dim: int) -> bool:
         """Whether threshold-exact cells take the shared path at this

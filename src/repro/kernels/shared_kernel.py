@@ -29,6 +29,7 @@ __all__ = ["GPUCalcShared"]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.absint import KernelInvariants
+    from repro.analysis.costmodel import CostContract
 
 
 class GPUCalcShared(Kernel):
@@ -66,6 +67,23 @@ class GPUCalcShared(Kernel):
             elements={"A": (0, "n-1"), "S": (0, "nx*ny-1")},
             # scheduled cells are non-empty: G_min[c] <= G_max[c]
             rows=(RowRange("G_min", "G_max", "A", empty=False),),
+        )
+
+    def cost_contract(self) -> "CostContract":
+        from repro.analysis.costmodel import CostContract
+
+        return CostContract(
+            counter_bounds={"syncs": "18*n*n + 1"},
+            # one block per scheduled cell: the tile loops usually run
+            # once (cells hold far fewer points than a block), and the
+            # per-thread share of the all-pairs sweep amortizes the
+            # origin-guard idle lanes across the block
+            trip_estimates={
+                "o_tile": "(r_cell + bdim - 1) // bdim",
+                "c_tile": "(r_cell + bdim - 1) // bdim",
+                "j": "r_cell * r_cell / max(1, bdim)",
+            },
+            stats={"r_cell": "mean points per non-empty grid cell"},
         )
 
     # ------------------------------------------------------------------

@@ -22,6 +22,10 @@ from tests.analysis.badkernels.kc005 import (
     OobUnguardedKernel,
 )
 from tests.analysis.badkernels.kc006 import RegisterHogKernel
+from tests.analysis.badkernels.kc007 import (
+    CostContractLiarKernel,
+    UnboundedLoopKernel,
+)
 
 #: (kernel instance, rule it must trigger)
 BAD_KERNELS = [
@@ -38,6 +42,8 @@ BAD_KERNELS = [
     (OobSharedWriteKernel(), "KC005"),
     (OobNegativeGatherKernel(), "KC005"),
     (RegisterHogKernel(), "KC006"),
+    (UnboundedLoopKernel(), "KC007"),
+    (CostContractLiarKernel(), "KC007"),
 ]
 
 __all__ = [
@@ -55,4 +61,6 @@ __all__ = [
     "OobSharedWriteKernel",
     "OobNegativeGatherKernel",
     "RegisterHogKernel",
+    "UnboundedLoopKernel",
+    "CostContractLiarKernel",
 ]

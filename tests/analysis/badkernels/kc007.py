@@ -1,0 +1,66 @@
+"""KC007 seeds: cost-model defects the static cost pass must flag.
+
+Two failure modes: a loop whose trip count the abstract interpreter
+cannot bound (no cost expression exists — severity ``error``), and a
+``cost_contract()`` that *declares* a per-thread counter bound below the
+derived worst case (a lying contract — severity ``warn``).  Both
+kernels keep every access proved, every barrier balanced, and their
+register estimates within the declaration, so KC007 is the only rule
+that fires.
+"""
+
+import numpy as np
+
+from repro.analysis.absint import KernelInvariants
+from repro.analysis.costmodel import CostContract
+from repro.gpusim.kernelapi import KernelContext
+from repro.gpusim.launch import Kernel
+
+
+class UnboundedLoopKernel(Kernel):
+    """Data-dependent ``while``: the iteration count comes off the heap
+    (``steps = out[gid]``), so no widening-safe trip bound exists and the
+    kernel has no cost expression."""
+
+    name = "BadUnboundedLoop"
+
+    def value_invariants(self):
+        return KernelInvariants(
+            lengths={"out": "n"}, scalars={"n": (1, None)}
+        )
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray, n: int) -> None:
+        gid = ctx.global_id
+        if gid >= n:
+            ctx.count_divergent()
+            return
+        steps = out[gid]
+        i = 0
+        while i < steps:
+            ctx.count_global_load(1)
+            i = i + 1
+
+
+class CostContractLiarKernel(Kernel):
+    """Declares ``global_loads <= 1`` while the device code charges two
+    words per thread — the derived bound exceeds the declaration, so the
+    contract understates the kernel's memory traffic."""
+
+    name = "BadCostContractLiar"
+
+    def value_invariants(self):
+        return KernelInvariants(
+            lengths={"out": "n"}, scalars={"n": (1, None)}
+        )
+
+    def cost_contract(self):
+        return CostContract(counter_bounds={"global_loads": "1"})
+
+    def device_code(self, ctx: KernelContext, *, out: np.ndarray, n: int) -> None:
+        gid = ctx.global_id
+        if gid >= n:
+            ctx.count_divergent()
+            return
+        ctx.count_global_load(2)
+        ctx.count_global_store(1)
+        out[gid] = gid

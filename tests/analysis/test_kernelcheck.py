@@ -81,6 +81,7 @@ class TestBadKernelCorpus:
             "KC004",
             "KC005",
             "KC006",
+            "KC007",
         }
 
 

@@ -1,4 +1,4 @@
-"""Tests for the repo-invariant AST lint (GS001–GS005)."""
+"""Tests for the repo-invariant AST lint (GS001–GS006)."""
 
 import json
 from pathlib import Path
@@ -228,6 +228,99 @@ class TestGS005HostOnlyAPI:
             "    out[:] = np.arange(len(out))\n"
         )
         assert lint_source(src, "kernels/x.py") == []
+
+
+class TestGS006UncontractedLoopBound:
+    KERNEL_TMPL = (
+        "class K:\n"
+        "    def value_invariants(self):\n"
+        "        return KernelInvariants(\n"
+        "            lengths={{'out': 'n'}}, scalars={{'n': (1, None)}}\n"
+        "        )\n"
+        "    def device_code(self, ctx, *, out, n, steps):\n"
+        "        gid = ctx.global_id\n"
+        "        for i in range({bound}):\n"
+        "            ctx.count_global_load(1)\n"
+    )
+
+    def test_uncontracted_parameter_flagged(self):
+        src = self.KERNEL_TMPL.format(bound="steps")
+        findings = lint_source(src, "kernels/x.py")
+        assert rules(findings) == ["GS006"]
+        assert "'steps'" in findings[0].message
+
+    def test_contracted_parameter_ok(self):
+        assert lint_source(self.KERNEL_TMPL.format(bound="n"), "kernels/x.py") == []
+
+    def test_contracted_length_ok(self):
+        assert (
+            lint_source(self.KERNEL_TMPL.format(bound="len(out)"), "kernels/x.py")
+            == []
+        )
+
+    def test_constant_bound_exempt(self):
+        assert lint_source(self.KERNEL_TMPL.format(bound="3"), "kernels/x.py") == []
+
+    def test_ctx_geometry_exempt(self):
+        assert (
+            lint_source(
+                self.KERNEL_TMPL.format(bound="ctx.block_dim"), "kernels/x.py"
+            )
+            == []
+        )
+
+    def test_local_derived_bound_not_flagged(self):
+        """Locals are KC007's (dataflow) concern, not the lint's — only
+        direct parameter uses are precise enough to flag."""
+        src = (
+            "class K:\n"
+            "    def value_invariants(self):\n"
+            "        return KernelInvariants(lengths={'out': 'n'})\n"
+            "    def device_code(self, ctx, *, out, n, steps):\n"
+            "        k = steps\n"
+            "        for i in range(k):\n"
+            "            ctx.count_global_load(1)\n"
+        )
+        assert lint_source(src, "kernels/x.py") == []
+
+    def test_raise_stub_invariants_exempt(self):
+        """An abstract base declaring no contract on purpose (its
+        value_invariants raises) must not be flagged."""
+        src = (
+            "class Base:\n"
+            "    def value_invariants(self):\n"
+            "        raise NotImplementedError('subclasses declare this')\n"
+            "    def device_code(self, ctx, *, out, steps):\n"
+            "        for i in range(steps):\n"
+            "            ctx.count_global_load(1)\n"
+        )
+        assert lint_source(src, "kernels/x.py") == []
+
+    def test_missing_invariants_flagged(self):
+        """No value_invariants() at all covers nothing."""
+        src = (
+            "class K:\n"
+            "    def device_code(self, ctx, *, out, steps):\n"
+            "        for i in range(steps):\n"
+            "            ctx.count_global_load(1)\n"
+        )
+        assert rules(lint_source(src, "kernels/x.py")) == ["GS006"]
+
+    def test_bare_device_code_function_not_in_scope(self):
+        """GS006 is a class-level rule: a free device_code function has
+        no sibling value_invariants to check against."""
+        src = (
+            "def device_code(self, ctx, *, out, steps):\n"
+            "    for i in range(steps):\n"
+            "        ctx.count_global_load(1)\n"
+        )
+        assert lint_source(src, "kernels/x.py") == []
+
+    def test_shipped_sources_clean(self):
+        """Every shipped kernel's loop bounds are contracted — the
+        repo-wide gate CI relies on."""
+        findings = [f for f in run_lint([str(REPO_SRC)]) if f.rule == "GS006"]
+        assert findings == []
 
 
 class TestRunner:

@@ -158,3 +158,44 @@ class TestSmallMetrics:
     def test_noise_fraction(self):
         assert noise_fraction(np.array([0, -1, -1, 1])) == 0.5
         assert noise_fraction(np.empty(0)) == 0.0
+
+    @given(labels_strategy)
+    @settings(max_examples=50)
+    def test_property_sizes_account_for_every_member(self, labels):
+        """Cluster sizes are descending and, together with the noise
+        count, partition the point set."""
+        sizes = cluster_sizes(labels)
+        assert all(sizes[i] >= sizes[i + 1] for i in range(len(sizes) - 1))
+        assert sizes.sum() + int((labels == -1).sum()) == len(labels)
+
+    @given(labels_strategy)
+    @settings(max_examples=50)
+    def test_property_noise_fraction_in_unit_interval(self, labels):
+        frac = noise_fraction(labels)
+        assert 0.0 <= frac <= 1.0
+        assert frac == pytest.approx((labels == -1).sum() / len(labels))
+
+
+class TestARIProperties:
+    @given(labels_strategy)
+    @settings(max_examples=50)
+    def test_property_self_ari_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels.copy()) == 1.0
+
+    @given(labels_strategy, labels_strategy)
+    @settings(max_examples=50)
+    def test_property_ari_symmetric_and_bounded_above(self, a, b):
+        m = min(len(a), len(b))
+        a, b = a[:m], b[:m]
+        ari = adjusted_rand_index(a, b)
+        assert ari <= 1.0 + 1e-12
+        assert ari == pytest.approx(adjusted_rand_index(b, a))
+
+    @given(labels_strategy)
+    @settings(max_examples=50)
+    def test_property_same_clustering_implies_perfect_ari(self, labels):
+        """Agreement between the strict and statistical comparators:
+        exact-match labelings always score ARI 1.0."""
+        shifted = np.where(labels == -1, -1, labels + 3)
+        assert same_clustering(labels, shifted)
+        assert adjusted_rand_index(labels, shifted) == 1.0
